@@ -1,0 +1,20 @@
+"""Regenerate the Section 7/8 studies: TPU', Boost mode, server scale."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_tpu_prime(benchmark):
+    result = run_experiment(benchmark, "tpu_prime")
+    assert 2.0 <= result.measured["memory_gm"] <= 4.0  # paper 2.6
+    assert result.measured["clock_gm"] < 1.5  # clock alone adds little
+
+
+def test_boost_mode(benchmark):
+    result = run_experiment(benchmark, "boost_mode")
+    assert abs(result.measured["perf_per_watt"] - 1.1) < 0.2  # a minor gain
+
+
+def test_server_scale(benchmark):
+    result = run_experiment(benchmark, "server_scale")
+    assert result.measured["speedup"] > 30  # paper ~80x
+    assert result.measured["extra_power"] < 0.5  # paper <20%

@@ -1,0 +1,11 @@
+"""Regenerate Figure 10: energy proportionality curves."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure10(benchmark):
+    result = run_experiment(benchmark, "figure10")
+    measured = result.measured
+    assert abs(measured[("tpu", "cnn0")] - 0.88) < 0.02
+    assert abs(measured[("cpu", "cnn0")] - 0.56) < 0.02
+    assert abs(measured["tpu_total_watts_per_die"] - 118) < 8

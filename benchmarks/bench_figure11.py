@@ -1,0 +1,10 @@
+"""Regenerate Figure 11: the design-space sensitivity sweep."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure11(benchmark):
+    result = run_experiment(benchmark, "figure11")
+    assert 2.5 <= result.measured["memory_4x"] <= 4.0  # paper ~3x
+    assert result.measured["clock_4x"] <= 1.35  # paper ~1x
+    assert result.measured["matrix_2x"] <= 1.05  # paper: slight degradation

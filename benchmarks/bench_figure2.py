@@ -1,0 +1,10 @@
+"""Regenerate Figure 2: die floorplan area shares."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure2(benchmark):
+    result = run_experiment(benchmark, "figure2")
+    assert abs(result.measured["buffers"] - 0.37) < 0.02
+    assert abs(result.measured["compute"] - 0.30) < 0.02
+    assert abs(result.measured["control"] - 0.02) < 0.01

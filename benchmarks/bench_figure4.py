@@ -1,0 +1,8 @@
+"""Regenerate Figure 4: systolic wavefront dataflow."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure4(benchmark):
+    result = run_experiment(benchmark, "figure4")
+    assert result.measured["exact"] is True

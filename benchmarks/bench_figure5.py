@@ -1,0 +1,12 @@
+"""Regenerate Figure 5: the TPU roofline."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure5(benchmark):
+    result = run_experiment(benchmark, "figure5")
+    assert abs(result.measured["ridge"] - 1350) / 1350 < 0.02
+    points = result.measured["points"]
+    # MLPs/LSTMs hug the slanted ceiling; CNN0 nears the flat top.
+    assert points["cnn0"]["tops"] > 40
+    assert points["lstm0"]["tops"] < 10

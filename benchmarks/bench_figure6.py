@@ -1,0 +1,13 @@
+"""Regenerate Figure 6: the Haswell roofline."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure6(benchmark):
+    result = run_experiment(benchmark, "figure6")
+    assert abs(result.measured["ridge"] - 13) < 1.0
+    # Response-time limits keep the apps under the fp32 peak -- except
+    # cnn0, the one DNN with an 8-bit AVX2 implementation (Section 8).
+    for app, point in result.measured["points"].items():
+        if app != "cnn0":
+            assert point["tops"] < 1.4

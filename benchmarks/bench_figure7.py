@@ -1,0 +1,13 @@
+"""Regenerate Figure 7: the K80 roofline."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure7(benchmark):
+    result = run_experiment(benchmark, "figure7")
+    assert abs(result.measured["ridge"] - 9) < 1.0
+    # Latency-bounded points sit below the fp32 peak, except cnn0 whose
+    # cuDNN transforms beat the direct-convolution op count.
+    for app, point in result.measured["points"].items():
+        if app != "cnn0":
+            assert point["tops"] < 3.0

@@ -1,0 +1,8 @@
+"""Regenerate Figure 8: combined rooflines."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure8(benchmark):
+    result = run_experiment(benchmark, "figure8")
+    assert result.measured["tpu_stars_at_or_above_other_rooflines"]

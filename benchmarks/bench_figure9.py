@@ -1,0 +1,13 @@
+"""Regenerate Figure 9: relative performance/Watt."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_figure9(benchmark):
+    result = run_experiment(benchmark, "figure9")
+    gm_total, _ = result.measured[("TPU/CPU", "total")]
+    gm_incr, _ = result.measured[("TPU/CPU", "incremental")]
+    assert 12 <= gm_total <= 40  # paper 17-34
+    assert 30 <= gm_incr <= 90  # paper 41-83
+    prime_gm, _ = result.measured[("TPU'/CPU", "total")]
+    assert prime_gm > gm_total  # the GDDR5 redesign wins

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the simulator's hot kernels."""
+
+import numpy as np
+
+from repro.compiler.driver import TPUDriver
+from repro.core.systolic import SystolicArray
+from repro.isa.encoding import decode_program, encode_program
+from repro.latency.queueing import simulate_batch_queue
+from repro.nn.quantization import quantized_matmul
+from repro.nn.workloads import mlp1
+
+
+def test_systolic_array_step(benchmark):
+    """One full cycle-level matmul on a 32x32 array."""
+    rng = np.random.default_rng(0)
+    array = SystolicArray(32, 32)
+    array.load_weights(rng.integers(-128, 128, size=(32, 32)))
+    x = rng.integers(-128, 128, size=(16, 32))
+    trace = benchmark(array.run_matmul, x)
+    assert np.array_equal(trace.output, x @ array.weights)
+
+
+def test_quantized_matmul_tile(benchmark):
+    """A 256x256 int8 tile multiply with int32 accumulation."""
+    rng = np.random.default_rng(1)
+    x = rng.integers(-128, 128, size=(256, 256)).astype(np.int8)
+    w = rng.integers(-128, 128, size=(256, 256)).astype(np.int8)
+    out = benchmark(quantized_matmul, x, w)
+    assert out.dtype == np.int32
+
+
+def test_compile_and_profile_mlp1(benchmark):
+    """Full compile + timing simulation of MLP1 (a whole batch)."""
+
+    def run():
+        driver = TPUDriver()
+        return driver.profile(driver.compile(mlp1()))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cycles > 0
+
+
+def test_instruction_codec(benchmark):
+    """Encode + decode a thousand-instruction stream."""
+    driver = TPUDriver()
+    program = driver.compile(mlp1()).program
+    blob = program.binary()
+
+    def roundtrip():
+        return decode_program(encode_program(decode_program(blob)))
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == len(program.instructions)
+
+
+def test_queue_simulation(benchmark):
+    """A 20k-request batching-queue simulation."""
+    stats = benchmark.pedantic(
+        simulate_batch_queue,
+        kwargs=dict(arrival_rate=5000.0, batch_size=16, occupancy_seconds=2e-3,
+                    n_requests=20000),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats.completed == 20000

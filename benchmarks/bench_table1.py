@@ -1,0 +1,12 @@
+"""Regenerate Table 1: the six-application workload characteristics."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table1(benchmark):
+    result = run_experiment(benchmark, "table1")
+    for app, row in result.paper.items():
+        measured = result.measured[app]
+        assert measured["census"]["total"] == row["total"]
+        assert abs(measured["weights_m"] - row["weights_m"]) / row["weights_m"] < 0.2
+        assert abs(measured["ops_per_byte"] - row["ops_per_byte"]) / row["ops_per_byte"] < 0.2

@@ -1,0 +1,9 @@
+"""Regenerate Table 2: benchmarked chips and servers."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table2(benchmark):
+    result = run_experiment(benchmark, "table2")
+    assert result.measured["tpu"]["ridge"] > 1300
+    assert result.measured["cpu"]["ridge"] < 15

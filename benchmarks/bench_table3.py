@@ -1,0 +1,14 @@
+"""Regenerate Table 3: the TPU cycle breakdown from simulator counters."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table3(benchmark):
+    result = run_experiment(benchmark, "table3")
+    measured = result.measured
+    # Memory-bound quartet vs compute-bound CNNs -- the table's story.
+    for app in ("mlp0", "mlp1", "lstm0", "lstm1"):
+        assert measured[app]["weight_stall"] > 0.4
+    assert measured["cnn0"]["active"] > 0.6
+    assert measured["cnn1"]["unused"] > 0.15
+    assert abs(measured["mlp0"]["tops"] - 12.3) / 12.3 < 0.3

@@ -1,0 +1,11 @@
+"""Regenerate Table 6: relative per-die performance and its means."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table6(benchmark):
+    result = run_experiment(benchmark, "table6")
+    means = result.measured["means"]
+    assert 10 <= means["tpu_gm"] <= 25  # paper 14.5
+    assert 0.7 <= means["gpu_gm"] <= 1.6  # paper 1.1
+    assert 9 <= means["ratio_gm"] <= 20  # paper 13.2

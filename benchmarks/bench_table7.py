@@ -1,0 +1,8 @@
+"""Regenerate Table 7: analytical model vs simulator validation."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table7(benchmark):
+    result = run_experiment(benchmark, "table7")
+    assert result.measured["average"] < 0.12  # paper averaged 8%

@@ -1,0 +1,12 @@
+"""Regenerate Table 8: Unified Buffer footprints per app."""
+
+from benchmarks.conftest import run_experiment
+
+
+def test_table8(benchmark):
+    result = run_experiment(benchmark, "table8")
+    measured = result.measured
+    assert measured["cnn1"] == max(measured[a] for a in result.paper)
+    assert measured["max"] <= 14.5  # the paper's 14 MiB observation
+    for app, published in result.paper.items():
+        assert abs(measured[app] - published) / published < 0.55

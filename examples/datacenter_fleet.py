@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fleet economics: performance/Watt and energy proportionality.
+
+The paper's Section 5-6 argument in one script: compare whole servers on
+performance per provisioned Watt (the TCO proxy), then look at what each
+platform burns at partial load -- where real datacenters live.
+"""
+
+from repro.analysis.common import platforms, workloads
+from repro.power.perfwatt import figure9_bars, server_scale_study
+from repro.power.proportionality import figure10_series
+from repro.util.tables import TextTable
+
+
+def main() -> None:
+    models = workloads()
+    plats = platforms()
+
+    table = TextTable(
+        ["Comparison", "Total perf/W", "Incremental perf/W"],
+        title="Relative performance/Watt (GM), whole servers at TDP",
+    )
+    bars = {(b.comparison, b.basis): b for b in figure9_bars(models, plats)}
+    for comparison in ("GPU/CPU", "TPU/CPU", "TPU/GPU", "TPU'/CPU", "TPU'/GPU"):
+        table.add_row([
+            comparison,
+            f"x{bars[(comparison, 'total')].gm:.1f}",
+            f"x{bars[(comparison, 'incremental')].gm:.1f}",
+        ])
+    print(table.render())
+
+    print("\nEnergy proportionality (CNN0), Watts per die by load:")
+    series = figure10_series("cnn0")
+    header = "  load:      " + "  ".join(f"{u:>4.0%}" for u in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
+    print(header)
+    for name, points in series.items():
+        lookup = dict(points)
+        row = "  ".join(f"{lookup[u]:4.0f}" for u in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
+        print(f"  {name:24} {row}")
+    print(
+        "\nAt 10% load the TPU still burns 88% of its full power (the short\n"
+        "schedule left out energy-saving features); Haswell manages 56%."
+    )
+
+    study = server_scale_study(models, plats)
+    print(
+        f"\nAdding 4 TPUs to a Haswell server: CNN0 runs x{study.cnn0_speedup:.0f} "
+        f"faster for {study.extra_power_fraction:.0%} more power."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Table-1 workload and read the TPU's counters.
+
+Compiles MLP0 (the RankBrain-like search-ranking MLP, 61% of 2016
+datacenter inference), runs one batch on the simulated TPU, and prints a
+Table-3-style cycle breakdown plus the app's roofline position.
+"""
+
+from repro import TPUDriver, build_workload
+from repro.core.config import TPU_V1
+from repro.roofline.model import tpu_roofline
+
+
+def main() -> None:
+    model = build_workload("mlp0")
+    print(model.summary())
+
+    driver = TPUDriver()
+    compiled = driver.compile(model)
+    print(compiled.program.summary())
+    print(f"Unified Buffer footprint: {compiled.ub_peak_bytes / 2**20:.1f} MiB\n")
+
+    result = driver.profile(compiled)
+    b = result.breakdown
+    print("Where the cycles went (Table 3 taxonomy):")
+    print(f"  array active : {b.active_fraction:6.1%}  (useful MACs {b.useful_mac_fraction:.1%})")
+    print(f"  weight stall : {b.weight_stall_fraction:6.1%}")
+    print(f"  weight shift : {b.weight_shift_fraction:6.1%}")
+    print(f"  non-matrix   : {b.non_matrix_fraction:6.1%}  (input stalls {b.input_stall_fraction:.1%})")
+    print(f"  delivered    : {result.tera_ops:.1f} TOPS of a 92 TOPS peak")
+    print(f"  throughput   : {driver.ips(compiled, result):,.0f} inferences/s (incl. host)\n")
+
+    view = tpu_roofline(TPU_V1)
+    intensity = model.ops_per_weight_byte()
+    print("Roofline position:")
+    print(f"  operational intensity : {intensity:.0f} MACs/weight-byte")
+    print(f"  ridge point           : {view.ridge_ops_per_byte:.0f}")
+    print(f"  attainable at I       : {view.attainable(intensity) / 1e12:.1f} TOPS")
+    verdict = "memory-bound" if intensity < view.ridge_ops_per_byte else "compute-bound"
+    print(f"  verdict               : {verdict} (4 of the 6 paper apps are memory-bound)")
+
+
+if __name__ == "__main__":
+    main()

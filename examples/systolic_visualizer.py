@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Watch the systolic wavefront of Figure 4 move through the array.
+
+Runs a small weight-stationary array cycle by cycle, printing the
+diagonal band of active MACs, then verifies the collected outputs equal
+a plain matrix multiply.
+"""
+
+import numpy as np
+
+from repro.core.systolic import SystolicArray
+
+ROWS, COLS, BATCH = 10, 10, 6
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    array = SystolicArray(ROWS, COLS)
+    weights = rng.integers(-4, 5, size=(ROWS, COLS))
+    x = rng.integers(-4, 5, size=(BATCH, ROWS))
+
+    cycles = array.load_weights(weights)
+    print(f"weights shifted in from the top: {cycles} cycles "
+          f"(256 on the real 256x256 tile)\n")
+
+    for cycle in range(0, BATCH + ROWS + COLS - 2, 4):
+        print(array.render_wavefront(cycle, BATCH))
+        print()
+
+    trace = array.run_matmul(x)
+    print(f"matmul of ({BATCH}x{ROWS}) @ ({ROWS}x{COLS}):")
+    print(f"  total cycles  : {trace.cycles} "
+          f"(= B + rows + cols - 2 = {BATCH}+{ROWS}+{COLS}-2)")
+    print(f"  pipeline fill : {trace.fill_cycles}, drain: {trace.drain_cycles}")
+    print(f"  equals numpy  : {np.array_equal(trace.output, x @ weights)}")
+    print(
+        "\nSoftware has the illusion that each input row is read at once\n"
+        "and instantly updates one accumulator row -- the illusion is\n"
+        "manufactured by the skewed registers you just watched."
+    )
+
+
+if __name__ == "__main__":
+    main()

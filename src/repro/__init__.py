@@ -1,0 +1,38 @@
+"""tpu-isca17: a reproduction of "In-Datacenter Performance Analysis of a
+Tensor Processing Unit" (Jouppi et al., ISCA 2017).
+
+Quick start::
+
+    from repro import TPUDriver, build_workload
+
+    driver = TPUDriver()
+    compiled = driver.compile(build_workload("mlp0"))
+    result = driver.profile(compiled)
+    print(result.tera_ops, "TOPS")
+
+The package layout mirrors the paper: :mod:`repro.core` is the TPU
+microarchitecture, :mod:`repro.compiler` the user-space driver,
+:mod:`repro.nn` the six-application workload, :mod:`repro.platforms` the
+Haswell/K80 comparison points, :mod:`repro.perfmodel` the Section 7
+design-space model, and :mod:`repro.analysis` regenerates every table and
+figure of the evaluation.
+"""
+
+from repro.compiler import LivenessAllocator, StaticPartitionAllocator, TPUDriver
+from repro.core import TPUConfig, TPUDevice, TPU_PRIME, TPU_V1
+from repro.nn import build_workload, paper_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LivenessAllocator",
+    "StaticPartitionAllocator",
+    "TPUConfig",
+    "TPUDevice",
+    "TPUDriver",
+    "TPU_PRIME",
+    "TPU_V1",
+    "build_workload",
+    "paper_workloads",
+    "__version__",
+]

@@ -1,0 +1,102 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``profile <app>``     -- compile a Table-1 workload and print its cycle
+  breakdown (Table 3 style);
+* ``experiment <id>``   -- regenerate one table/figure (e.g. ``table6``);
+* ``report [path]``     -- regenerate every experiment into a markdown
+  report (defaults to EXPERIMENTS.md);
+* ``list``              -- list workloads and experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.analysis import EXPERIMENTS
+    from repro.nn.workloads import WORKLOAD_BUILDERS
+
+    print("workloads:  " + ", ".join(WORKLOAD_BUILDERS))
+    print("experiments: " + ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import TPUDriver, build_workload
+
+    model = build_workload(args.app)
+    driver = TPUDriver()
+    compiled = driver.compile(
+        model, weight_bits=args.weight_bits, activation_bits=args.activation_bits
+    )
+    result = driver.profile(compiled)
+    b = result.breakdown
+    print(model.summary())
+    print(compiled.program.summary())
+    print(f"cycles            : {result.cycles:,.0f} ({result.seconds * 1e3:.2f} ms/batch)")
+    print(f"array active      : {b.active_fraction:.1%} (useful {b.useful_mac_fraction:.1%})")
+    print(f"weight stall/shift: {b.weight_stall_fraction:.1%} / {b.weight_shift_fraction:.1%}")
+    print(f"non-matrix        : {b.non_matrix_fraction:.1%} "
+          f"(RAW {b.raw_stall_fraction:.1%}, input {b.input_stall_fraction:.1%})")
+    print(f"delivered         : {result.tera_ops:.1f} TOPS")
+    print(f"throughput        : {driver.ips(compiled, result):,.0f} IPS incl. host")
+    print(f"Unified Buffer    : {compiled.ub_peak_bytes / 2**20:.1f} MiB")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import EXPERIMENTS
+
+    fn = EXPERIMENTS.get(args.exp_id)
+    if fn is None:
+        print(f"unknown experiment {args.exp_id!r}; try: "
+              + ", ".join(EXPERIMENTS), file=sys.stderr)
+        return 2
+    print(fn())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import main as report_main
+
+    return report_main(["report", args.output])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TPU ISCA-2017 reproduction: simulate, analyze, report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    profile = sub.add_parser("profile", help="simulate one workload")
+    profile.add_argument("app", help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1")
+    profile.add_argument("--weight-bits", type=int, default=8, choices=(8, 16))
+    profile.add_argument("--activation-bits", type=int, default=8, choices=(8, 16))
+    profile.set_defaults(fn=_cmd_profile)
+
+    experiment = sub.add_parser("experiment", help="regenerate one table/figure")
+    experiment.add_argument("exp_id", help="e.g. table6, figure9, tpu_prime")
+    experiment.set_defaults(fn=_cmd_experiment)
+
+    report = sub.add_parser("report", help="regenerate the full report")
+    report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

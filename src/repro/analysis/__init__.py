@@ -1,0 +1,56 @@
+"""The experiment harness: regenerate every table and figure.
+
+Each ``table*``/``figure*`` module exposes ``run() -> ExperimentResult``;
+the registry maps experiment ids to those callables, and
+:mod:`repro.analysis.report` renders the whole evaluation (EXPERIMENTS.md
+is generated from it).
+"""
+
+from repro.analysis.common import ExperimentResult, platforms, workloads
+
+from repro.analysis import (  # noqa: E402  (registry population)
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    extras,
+)
+
+#: Experiment id -> zero-argument callable returning ExperimentResult.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "figure2": figure2.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "figure11": figure11.run,
+    "tpu_prime": extras.run_tpu_prime,
+    "boost_mode": extras.run_boost_mode,
+    "server_scale": extras.run_server_scale,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "platforms", "workloads"]

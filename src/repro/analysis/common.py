@@ -1,0 +1,55 @@
+"""Shared experiment infrastructure: cached workloads/platforms/results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.core.device import ExecutionResult
+from repro.compiler.driver import CompiledModel, TPUDriver
+from repro.nn.graph import Model
+from repro.nn.workloads import paper_workloads
+from repro.platforms.base import Platform
+from repro.platforms.cpu import HaswellPlatform
+from repro.platforms.gpu import K80Platform
+from repro.platforms.tpu import TPUPlatform
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    exp_id: str
+    title: str
+    text: str
+    measured: dict = field(default_factory=dict)
+    paper: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+@lru_cache(maxsize=1)
+def workloads() -> dict[str, Model]:
+    return paper_workloads()
+
+
+@lru_cache(maxsize=1)
+def platforms() -> dict[str, Platform]:
+    return {"cpu": HaswellPlatform(), "gpu": K80Platform(), "tpu": TPUPlatform()}
+
+
+@lru_cache(maxsize=1)
+def tpu_driver() -> TPUDriver:
+    tpu = platforms()["tpu"]
+    return tpu.driver  # share the platform's compile cache
+
+
+@lru_cache(maxsize=None)
+def compiled(app: str) -> CompiledModel:
+    return tpu_driver().compile(workloads()[app])
+
+
+@lru_cache(maxsize=None)
+def profiled(app: str) -> ExecutionResult:
+    return tpu_driver().profile(compiled(app))

@@ -1,0 +1,8 @@
+"""Figure 5: the TPU roofline (ridge ~1350 MACs/weight-byte)."""
+
+from repro.analysis.common import ExperimentResult
+from repro.analysis.rooflines import roofline_result
+
+
+def run() -> ExperimentResult:
+    return roofline_result("figure5", "tpu", "Figure 5 -- TPU die roofline")

@@ -1,0 +1,8 @@
+"""Figure 6: the Haswell roofline (ridge ~13 MACs/weight-byte)."""
+
+from repro.analysis.common import ExperimentResult
+from repro.analysis.rooflines import roofline_result
+
+
+def run() -> ExperimentResult:
+    return roofline_result("figure6", "cpu", "Figure 6 -- Haswell die roofline")

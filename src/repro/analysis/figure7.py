@@ -1,0 +1,8 @@
+"""Figure 7: the K80 roofline (ridge ~9 MACs/weight-byte)."""
+
+from repro.analysis.common import ExperimentResult
+from repro.analysis.rooflines import roofline_result
+
+
+def run() -> ExperimentResult:
+    return roofline_result("figure7", "gpu", "Figure 7 -- K80 die roofline")

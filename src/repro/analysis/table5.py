@@ -1,0 +1,26 @@
+"""Table 5: host interaction time as a percentage of TPU time."""
+
+from __future__ import annotations
+
+from repro import _paper
+from repro.analysis.common import ExperimentResult, compiled, profiled, workloads
+from repro.util.tables import TextTable
+
+
+def run() -> ExperimentResult:
+    table = TextTable(
+        ["App", "Host interaction / TPU time", "paper"],
+        title="Table 5 -- time the CPU and TPU spend communicating",
+    )
+    measured = {}
+    for name in workloads():
+        fraction = compiled(name).host_seconds_per_batch() / profiled(name).seconds
+        measured[name] = fraction
+        table.add_row([name.upper(), f"{fraction:.0%}", f"{_paper.TABLE5[name]:.0%}"])
+    return ExperimentResult(
+        exp_id="table5",
+        title="Host interaction overhead",
+        text=table.render(),
+        measured=measured,
+        paper=_paper.TABLE5,
+    )

@@ -1,0 +1,842 @@
+"""Model -> TPUProgram lowering.
+
+Conventions established here and honoured by the device:
+
+* **Tensors are group-major matrices.**  A logical (rows, width) int8
+  tensor occupies ``ceil(width/256)`` lane groups; group ``g`` is a block
+  of ``rows`` 256-byte UB rows at ``base_row + g*rows``.  Sequence
+  tensors are step-major: step ``t`` of a (B*T, F) tensor is rows
+  ``[t*B, (t+1)*B)`` of every group.  Images are (B*H*W, C) matrices.
+* **Accumulators ping-pong.**  Each matmul pass (one N-stripe of one row
+  chunk) claims one of two banks, so the Activate draining pass ``i``
+  overlaps the matmuls of pass ``i+1``.
+* **Row chunking.**  Convolutions stream more rows than an accumulator
+  bank holds; rows are cut into chunks of at most half the accumulator
+  file, at the cost of re-reading the layer's weight tiles once per
+  chunk (why more accumulators help a faster clock in Figure 11).
+* **The systolic data setup buffer.**  im2col patch streams live in a
+  dedicated two-bank setup region (Figure 1's "Systolic Data Setup"),
+  addressed above :data:`SETUP_BASE`, outside the UB allocator.
+* **Dependency sidecar.**  The compiler performs the interval analysis
+  and attaches (reads, writes, WAR) token tuples per instruction; the
+  device's scoreboard consumes tokens in O(1), which keeps the timing
+  simulation linear in program size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.allocator import Allocation, LivenessAllocator, Request
+from repro.compiler.tiling import tile_matmul
+from repro.core.config import TPUConfig
+from repro.isa.instructions import (
+    Activate,
+    Configure,
+    DebugTag,
+    Halt,
+    Instruction,
+    InterruptHost,
+    MatrixMultiply,
+    ReadHostMemory,
+    ReadWeights,
+    SyncHost,
+    VectorInstruction,
+    VectorKind,
+    WriteHostMemory,
+    pack_pooling_config,
+)
+from repro.isa.program import HostBufferSpec, ScaleEntry, TileSpec, TPUProgram
+from repro.nn.graph import Model
+from repro.nn.layers import (
+    Activation,
+    Conv2D,
+    FullyConnected,
+    LayerKind,
+    LSTMCell,
+    Pooling,
+    VectorOp,
+)
+from repro.nn.quantization import TensorScale
+from repro.nn.reference import QuantizedParams
+
+ROW_BYTES = 256
+#: UB row index at which the systolic-data-setup address space begins.
+SETUP_BASE = 0x800000
+#: Row stride between the two setup banks.
+SETUP_BANK_STRIDE = 1 << 22
+
+#: The paper: the Unified Buffer was sized so MLPs could run at batch
+#: sizes up to 2048; the driver stages that many examples for all-FC apps.
+MLP_STAGING_EXAMPLES = 2048
+
+
+def groups_of(width: int) -> int:
+    return math.ceil(width / ROW_BYTES)
+
+
+@dataclass
+class LoweredTensor:
+    """A UB-resident tensor in group-major matrix form.
+
+    ``base_row`` is a *virtual* row id: instruction addressing spans the
+    full group-major footprint, while the allocator charges the packed
+    byte size (narrow image tensors pack their channels instead of
+    padding every row to 256 bytes).  The split mirrors how the hardware
+    separates addressing from storage banking.
+    """
+
+    name: str
+    rows: int
+    width: int
+    base_row: int = -1  # resolved after allocation
+
+    @property
+    def groups(self) -> int:
+        return groups_of(self.width)
+
+    @property
+    def row_span(self) -> int:
+        """Virtual UB rows the tensor's addressing occupies."""
+        return self.rows * self.groups
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes charged to the Unified Buffer allocator.
+
+        Matmul-fed tensors (width > 256) need 256-byte-aligned rows per
+        lane group; narrow image tensors (width <= 256) are packed.
+        """
+        if self.width <= ROW_BYTES:
+            return -(-self.rows * self.width // ROW_BYTES) * ROW_BYTES
+        return self.rows * self.groups * ROW_BYTES
+
+    def group_row(self, group: int, row_offset: int = 0) -> int:
+        if self.base_row < 0:
+            raise RuntimeError(f"tensor {self.name} not yet placed")
+        return self.base_row + group * self.rows + row_offset
+
+
+@dataclass(frozen=True)
+class InstrDeps:
+    """Token dependencies of one instruction (device scoreboard input)."""
+
+    reads: tuple[int, ...] = ()
+    writes: tuple[int, ...] = ()
+    war: tuple[int, ...] = ()
+
+
+class _DepTracker:
+    """Interval -> token bookkeeping, resolved at compile time.
+
+    Keys identify an address space (a tensor's lane group, an accumulator
+    bank, a setup bank); ranges are row intervals within that space.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._blocks: dict[object, list[tuple[int, int, int]]] = {}
+
+    def write(self, key: object, r0: int, r1: int) -> tuple[int, tuple[int, ...]]:
+        """Register a write; returns (new token, WAR tokens displaced)."""
+        if r1 <= r0:
+            raise ValueError(f"empty write range [{r0}, {r1}) on {key!r}")
+        blocks = self._blocks.setdefault(key, [])
+        war = tuple(tok for (b0, b1, tok) in blocks if b0 < r1 and r0 < b1)
+        blocks[:] = [(b0, b1, tok) for (b0, b1, tok) in blocks if not (b0 >= r0 and b1 <= r1)]
+        token = self._next
+        self._next += 1
+        blocks.append((r0, r1, token))
+        return token, war
+
+    def read(self, key: object, r0: int, r1: int) -> tuple[int, ...]:
+        blocks = self._blocks.get(key, ())
+        return tuple(tok for (b0, b1, tok) in blocks if b0 < r1 and r0 < b1)
+
+
+@dataclass
+class LoweringResult:
+    program: TPUProgram
+    allocation: Allocation
+    tensors: dict[str, LoweredTensor] = field(default_factory=dict)
+
+
+class Lowering:
+    """Single-use lowering context for one model."""
+
+    def __init__(
+        self,
+        model: Model,
+        config: TPUConfig,
+        params: QuantizedParams | None = None,
+        allocator=None,
+        weight_bits: int = 8,
+        activation_bits: int = 8,
+    ) -> None:
+        if config.matrix_dim != ROW_BYTES:
+            raise NotImplementedError(
+                "instruction-level lowering targets the 256-wide datapath; "
+                "use repro.perfmodel for scaled matrix dimensions (as the "
+                "paper's Section 7 study did)"
+            )
+        if weight_bits not in (8, 16) or activation_bits not in (8, 16):
+            raise ValueError("operand widths must be 8 or 16 bits (Section 2)")
+        if params is not None and (weight_bits, activation_bits) != (8, 8):
+            raise NotImplementedError(
+                "functional execution is 8-bit; 16-bit modes are for timing "
+                "studies (the paper's half/quarter-speed cases)"
+            )
+        self.model = model
+        self.config = config
+        self.params = params
+        self.weight_bits = weight_bits
+        self.activation_bits = activation_bits
+        self.allocator = allocator if allocator is not None else LivenessAllocator()
+        self.dim = config.matrix_dim
+        self.acc_bank_rows = config.accumulator_rows // 2
+        self._instructions: list[Instruction] = []
+        self._deps: list[InstrDeps] = []
+        self._tiles: dict[int, TileSpec] = {}
+        self._scales: list[ScaleEntry] = []
+        self._tensors: dict[str, LoweredTensor] = {}
+        self._requests: list[Request] = []
+        self._tracker = _DepTracker()
+        self._pass_toggle = 0
+        self._setup_toggle = 0
+        self._unit_scale = TensorScale(1.0)
+
+    # ------------------------------------------------------------------
+    # scale helpers
+    # ------------------------------------------------------------------
+    def _layer_scales(self, index: int) -> tuple[TensorScale, TensorScale, TensorScale]:
+        """(input, weight, output) scales for layer ``index``."""
+        if self.params is None:
+            return (self._unit_scale, self._unit_scale, self._unit_scale)
+        layer = self.model.layers[index]
+        in_scale = (
+            self.params.input_scale
+            if index == 0
+            else self.params.output_scales[index - 1]
+        )
+        out_scale = self.params.output_scales[index]
+        weight_scale = (
+            self.params.weights[layer.name].scale
+            if layer.name in self.params.weights
+            else self._unit_scale
+        )
+        return in_scale, weight_scale, out_scale
+
+    def _add_scale(self, entry: ScaleEntry) -> int:
+        self._scales.append(entry)
+        return len(self._scales) - 1
+
+    # ------------------------------------------------------------------
+    # tensor bookkeeping
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, rows: int, width: int, start: int, end: int) -> LoweredTensor:
+        if name in self._tensors:
+            raise ValueError(f"tensor {name!r} declared twice")
+        tensor = LoweredTensor(name=name, rows=rows, width=width)
+        self._tensors[name] = tensor
+        self._requests.append(Request(name=name, nbytes=tensor.nbytes, start=start, end=end))
+        return tensor
+
+    def _get_tensor(self, name: str) -> LoweredTensor:
+        try:
+            return self._tensors[name]
+        except KeyError:
+            raise KeyError(f"tensor {name!r} was never declared") from None
+
+    def _tensor_shape_for_layer_output(self, index: int) -> tuple[int, int]:
+        """(rows, width) of layer ``index``'s output tensor."""
+        shape = self.model.shapes()[index]
+        batch = self.model.batch_size
+        if len(shape) == 1:
+            return batch, shape[0]
+        if len(shape) == 2:
+            return batch * shape[0], shape[1]
+        if len(shape) == 3:
+            return batch * shape[0] * shape[1], shape[2]
+        raise ValueError(f"unsupported output shape {shape}")
+
+    def _input_tensor_shape(self) -> tuple[int, int]:
+        shape = self.model.input_shape
+        batch = self.model.batch_size
+        if len(shape) == 1:
+            return batch, shape[0]
+        if len(shape) == 2:
+            return batch * shape[0], shape[1]
+        if len(shape) == 3:
+            return batch * shape[0] * shape[1], shape[2]
+        raise ValueError(f"unsupported input shape {shape}")
+
+    def _input_layout(self) -> str:
+        return {1: "rows", 2: "sequence", 3: "image"}[len(self.model.input_shape)]
+
+    def _last_use_steps(self) -> tuple[int, dict[int, int]]:
+        """(input last-use step, per-layer-output last-use step).
+
+        Steps: the input is defined at 0; layer i runs at step i+1.
+        Residual skips extend the source tensor's live range to the
+        consuming layer's step -- the mechanism behind CNN1's Table 8
+        footprint.
+        """
+        n = len(self.model.layers)
+        input_last = 1  # consumed by layer 0
+        last = {i: min(i + 2, n) for i in range(n)}
+        last[n - 1] = n  # the final output lives to the DMA-out step
+        for dst, src in self.model.residual_sources.items():
+            if src == -1:
+                input_last = max(input_last, dst + 1)
+            else:
+                last[src] = max(last[src], dst + 1)
+        return input_last, last
+
+    # ------------------------------------------------------------------
+    # dependency-token helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tensor_key(tensor: LoweredTensor, group: int) -> object:
+        return (tensor.name, group)
+
+    def _read_tensor_range(self, tensor: LoweredTensor, r0: int, rows: int, col0: int = 0, lanes: int | None = None) -> tuple[int, ...]:
+        lanes = tensor.width if lanes is None else lanes
+        g0 = col0 // ROW_BYTES
+        g1 = (col0 + lanes - 1) // ROW_BYTES
+        tokens: list[int] = []
+        for g in range(g0, min(g1, tensor.groups - 1) + 1):
+            tokens.extend(self._tracker.read(self._tensor_key(tensor, g), r0, r0 + rows))
+        return tuple(tokens)
+
+    def _write_tensor_range(self, tensor: LoweredTensor, r0: int, rows: int, col0: int = 0, lanes: int | None = None) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        lanes = tensor.width if lanes is None else lanes
+        g0 = col0 // ROW_BYTES
+        g1 = (col0 + lanes - 1) // ROW_BYTES
+        writes: list[int] = []
+        war: list[int] = []
+        for g in range(g0, min(g1, tensor.groups - 1) + 1):
+            token, displaced = self._tracker.write(self._tensor_key(tensor, g), r0, r0 + rows)
+            writes.append(token)
+            war.extend(displaced)
+        return tuple(writes), tuple(war)
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+    def _emit(self, instr: Instruction, deps: InstrDeps | None = None) -> None:
+        self._instructions.append(instr)
+        self._deps.append(deps if deps is not None else InstrDeps())
+
+    def _next_acc_bank(self) -> int:
+        bank = self._pass_toggle % 2
+        self._pass_toggle += 1
+        return bank * self.acc_bank_rows
+
+    def _next_setup_bank(self) -> tuple[int, int]:
+        bank = self._setup_toggle % 2
+        self._setup_toggle += 1
+        return SETUP_BASE + bank * SETUP_BANK_STRIDE, bank
+
+    def _weight_tiles(self, layer_name: str, k: int, n: int) -> dict[int, list[tuple[int, int, int, int, int]]]:
+        """Register tiles; returns {n0: [(tile_id, k0, k_ext, n0, n_ext)]}."""
+        weight = None
+        if self.params is not None and layer_name in self.params.weights:
+            weight = self.params.weights[layer_name].data
+        stripes: dict[int, list[tuple[int, int, int, int, int]]] = {}
+        for coord in tile_matmul(k, n, self.dim):
+            tile_id = len(self._tiles)
+            data = None
+            if weight is not None:
+                data = np.ascontiguousarray(
+                    weight[coord.k0 : coord.k0 + coord.k, coord.n0 : coord.n0 + coord.n]
+                )
+            self._tiles[tile_id] = TileSpec(tile_id=tile_id, rows=coord.k, cols=coord.n, data=data)
+            stripes.setdefault(coord.n0, []).append((tile_id, coord.k0, coord.k, coord.n0, coord.n))
+        return stripes
+
+    def _matmul_pass(
+        self,
+        stripe: list[tuple[int, int, int, int, int]],
+        src_tokens_of_group,
+        src_row_of_group,
+        rows: int,
+        acc_base: int,
+        convolve: bool = False,
+    ) -> None:
+        """Emit the Read_Weights + MatrixMultiply K-loop of one stripe."""
+        for seq, (tile_id, k0, _k_ext, _n0, _n_ext) in enumerate(stripe):
+            group = k0 // self.dim
+            self._emit(ReadWeights(tile_id=tile_id))
+            acc_writes, acc_war = (
+                self._acc_write(acc_base, rows) if seq == 0 else ((), ())
+            )
+            if seq > 0:
+                # Accumulating writes read-modify-write the same rows.
+                acc_reads = self._tracker.read("acc", acc_base, acc_base + rows)
+            else:
+                acc_reads = ()
+            self._emit(
+                MatrixMultiply(
+                    ub_row=src_row_of_group(group),
+                    acc_row=acc_base,
+                    rows=rows,
+                    accumulate=seq > 0,
+                    load_new_tile=True,
+                    convolve=convolve,
+                    weight_bits=self.weight_bits,
+                    activation_bits=self.activation_bits,
+                ),
+                InstrDeps(
+                    reads=tuple(src_tokens_of_group(group)) + acc_reads,
+                    writes=acc_writes,
+                    war=acc_war,
+                ),
+            )
+
+    def _acc_write(self, acc_base: int, rows: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        token, war = self._tracker.write("acc", acc_base, acc_base + rows)
+        return (token,), war
+
+    def _acc_read(self, acc_base: int, rows: int) -> tuple[int, ...]:
+        return self._tracker.read("acc", acc_base, acc_base + rows)
+
+    # ------------------------------------------------------------------
+    # per-layer lowering
+    # ------------------------------------------------------------------
+    def _lower_fc(self, index: int, layer: FullyConnected, in_t: LoweredTensor, out_t: LoweredTensor) -> None:
+        batch = self.model.batch_size
+        in_scale, w_scale, out_scale = self._layer_scales(index)
+        scale_id = self._add_scale(ScaleEntry(in_scale, out_scale, w_scale))
+        k, n = layer.matmul_shape
+
+        src_t = in_t
+        if in_t.width != k:
+            # conv/pool -> FC transition: flatten into a staging tensor.
+            if in_t.rows * in_t.width != batch * k:
+                raise ValueError(
+                    f"{layer.name}: cannot flatten {in_t.rows}x{in_t.width} into {batch}x{k}"
+                )
+            stage = self._get_tensor(f"{layer.name}.flat")
+            copy_scale = self._add_scale(ScaleEntry(in_scale, in_scale))
+            reads = self._read_tensor_range(in_t, 0, in_t.rows)
+            writes, war = self._write_tensor_range(stage, 0, batch)
+            self._emit(
+                VectorInstruction(
+                    kind=VectorKind.UNARY,
+                    src_row=in_t.base_row,
+                    dst_row=stage.base_row,
+                    rows=batch,
+                    lanes=min(k, 65535),
+                    scale_id=copy_scale,
+                    function=Activation.NONE,
+                ),
+                InstrDeps(reads=reads, writes=writes, war=war),
+            )
+            src_t = stage
+
+        stripes = self._weight_tiles(layer.name, k, n)
+        for t in range(layer.steps):
+            row0 = t * batch if layer.steps > 1 else 0
+            for n0, stripe in stripes.items():
+                n_ext = stripe[0][4]
+                acc_base = self._next_acc_bank()
+                self._matmul_pass(
+                    stripe,
+                    lambda g, r0=row0: self._read_tensor_range(src_t, r0, batch, g * ROW_BYTES, ROW_BYTES),
+                    lambda g, r0=row0: src_t.group_row(g, r0),
+                    batch,
+                    acc_base,
+                )
+                acc_reads = self._acc_read(acc_base, batch)
+                writes, war = self._write_tensor_range(out_t, row0, batch, n0, n_ext)
+                self._emit(
+                    Activate(
+                        acc_row=acc_base,
+                        ub_row=out_t.group_row(n0 // self.dim, row0),
+                        rows=batch,
+                        lanes=n_ext,
+                        function=layer.activation,
+                        scale_id=scale_id,
+                    ),
+                    InstrDeps(reads=acc_reads, writes=writes, war=war),
+                )
+
+    def _lower_conv(self, index: int, layer: Conv2D, in_t: LoweredTensor, out_t: LoweredTensor) -> None:
+        batch = self.model.batch_size
+        in_scale, w_scale, out_scale = self._layer_scales(index)
+        scale_id = self._add_scale(ScaleEntry(in_scale, out_scale, w_scale))
+        k, n = layer.matmul_shape
+        h, w = layer.input_hw
+        oh, ow = layer.out_hw
+        out_rows = batch * oh * ow
+        self._emit(
+            Configure(
+                key=Configure.KEY_CONV,
+                value=pack_pooling_config(layer.kernel, layer.stride, h, w, layer.in_channels),
+            )
+        )
+        stripes = self._weight_tiles(layer.name, k, n)
+        # Example-aligned row chunks: a chunk's im2col then depends only on
+        # the input rows of the examples it covers, so the setup engine
+        # streams chunk c+1 of layer L while the matrix unit is still on
+        # chunk c -- and layer L's first chunk starts as soon as layer
+        # L-1's first chunk has been activated.
+        per_example = oh * ow
+        chunk = min(out_rows, self.acc_bank_rows, 65535)
+        if per_example <= chunk:
+            chunk = (chunk // per_example) * per_example
+        setup_scale = self._add_scale(ScaleEntry(in_scale, in_scale))
+        in_rows_per_example = h * w
+        for r0 in range(0, out_rows, chunk):
+            rows = min(chunk, out_rows - r0)
+            b0 = r0 // per_example
+            b1 = -(-(r0 + rows) // per_example)  # ceil
+            src_reads = self._read_tensor_range(
+                in_t, b0 * in_rows_per_example, (b1 - b0) * in_rows_per_example
+            )
+            setup_base, setup_bank = self._next_setup_bank()
+            setup_token, setup_war = self._tracker.write(("setup", setup_bank), 0, rows)
+            self._emit(
+                VectorInstruction(
+                    kind=VectorKind.IM2COL,
+                    src_row=in_t.base_row,
+                    dst_row=setup_base,
+                    rows=rows,
+                    lanes=min(k, 65535),
+                    scale_id=setup_scale,
+                    aux_id=r0,
+                ),
+                InstrDeps(reads=src_reads, writes=(setup_token,), war=setup_war),
+            )
+            for n0, stripe in stripes.items():
+                n_ext = stripe[0][4]
+                acc_base = self._next_acc_bank()
+                self._matmul_pass(
+                    stripe,
+                    lambda g, tok=setup_token: (tok,),
+                    lambda g, base=setup_base, r=rows: base + g * r,
+                    rows,
+                    acc_base,
+                    convolve=True,
+                )
+                acc_reads = self._acc_read(acc_base, rows)
+                writes, war = self._write_tensor_range(out_t, r0, rows, n0, n_ext)
+                self._emit(
+                    Activate(
+                        acc_row=acc_base,
+                        ub_row=out_t.group_row(n0 // self.dim, r0),
+                        rows=rows,
+                        lanes=n_ext,
+                        function=layer.activation,
+                        scale_id=scale_id,
+                    ),
+                    InstrDeps(reads=acc_reads, writes=writes, war=war),
+                )
+
+    def _lower_lstm(self, index: int, layer: LSTMCell, in_t: LoweredTensor, out_t: LoweredTensor) -> None:
+        batch = self.model.batch_size
+        in_scale, w_scale, out_scale = self._layer_scales(index)
+        x_width = layer.input_size
+        hidden = layer.hidden_size
+        k, n = layer.matmul_shape  # (x + h, 4h)
+        n_groups = groups_of(n)
+        if n_groups * batch > self.acc_bank_rows:
+            raise ValueError(
+                f"{layer.name}: gate stripes need {n_groups * batch} accumulator "
+                f"rows but a bank holds {self.acc_bank_rows}"
+            )
+        concat = self._get_tensor(f"{layer.name}.concat")
+        h_state = self._get_tensor(f"{layer.name}.h")
+        copy_scale = self._add_scale(ScaleEntry(in_scale, in_scale))
+        gate_scale = self._add_scale(ScaleEntry(in_scale, out_scale, w_scale, aux_scale=in_scale))
+        stripes = self._weight_tiles(layer.name, k, n)
+        cell_key = f"c:{layer.name}"
+
+        for t in range(layer.steps):
+            row0 = t * batch
+            # Gather x_t into the concat staging tensor.
+            reads = self._read_tensor_range(in_t, row0, batch, 0, x_width)
+            writes, war = self._write_tensor_range(concat, 0, batch, 0, x_width)
+            self._emit(
+                VectorInstruction(
+                    kind=VectorKind.UNARY,
+                    src_row=in_t.base_row + row0,
+                    dst_row=concat.base_row,
+                    rows=batch,
+                    lanes=x_width,
+                    scale_id=copy_scale,
+                    aux_id=0,
+                ),
+                InstrDeps(reads=reads, writes=writes, war=war),
+            )
+            # Gather h_{t-1} beside it.
+            reads = self._read_tensor_range(h_state, 0, batch)
+            writes, war = self._write_tensor_range(concat, 0, batch, x_width, hidden)
+            self._emit(
+                VectorInstruction(
+                    kind=VectorKind.UNARY,
+                    src_row=h_state.base_row,
+                    dst_row=concat.base_row,
+                    rows=batch,
+                    lanes=hidden,
+                    scale_id=copy_scale,
+                    aux_id=x_width,
+                ),
+                InstrDeps(reads=reads, writes=writes, war=war),
+            )
+            acc_base = self._next_acc_bank()
+            for n0, stripe in stripes.items():
+                self._matmul_pass(
+                    stripe,
+                    lambda g: self._read_tensor_range(concat, 0, batch, g * ROW_BYTES, ROW_BYTES),
+                    lambda g: concat.group_row(g),
+                    batch,
+                    acc_base + (n0 // self.dim) * batch,
+                )
+            acc_reads = self._acc_read(acc_base, n_groups * batch)
+            out_writes, out_war = self._write_tensor_range(out_t, row0, batch)
+            h_writes, h_war = self._write_tensor_range(h_state, 0, batch)
+            c_token, c_war = self._tracker.write(cell_key, 0, batch)
+            c_reads = ()  # the WAR edge on cell_key already orders the chain
+            self._emit(
+                VectorInstruction(
+                    kind=VectorKind.LSTM_GATE,
+                    src_row=acc_base,
+                    dst_row=out_t.base_row + row0,
+                    rows=batch,
+                    lanes=hidden,
+                    scale_id=gate_scale,
+                    aux_id=h_state.base_row,
+                ),
+                InstrDeps(
+                    reads=acc_reads + c_reads,
+                    writes=out_writes + h_writes + (c_token,),
+                    war=out_war + h_war + c_war,
+                ),
+            )
+
+    def _lower_vector(self, index: int, layer: VectorOp, in_t: LoweredTensor, out_t: LoweredTensor) -> None:
+        in_scale, _w, out_scale = self._layer_scales(index)
+        scale_id = self._add_scale(ScaleEntry(in_scale, out_scale))
+        reads = self._read_tensor_range(in_t, 0, in_t.rows)
+        writes, war = self._write_tensor_range(out_t, 0, out_t.rows)
+        self._emit(
+            VectorInstruction(
+                kind=VectorKind.UNARY,
+                src_row=in_t.base_row,
+                dst_row=out_t.base_row,
+                rows=min(in_t.rows, 65535),
+                lanes=min(in_t.width, 65535),
+                scale_id=scale_id,
+                function=layer.op,
+            ),
+            InstrDeps(reads=reads, writes=writes, war=war),
+        )
+
+    def _lower_pool(self, index: int, layer: Pooling, in_t: LoweredTensor, out_t: LoweredTensor, in_shape: tuple[int, ...]) -> None:
+        in_scale, _w, out_scale = self._layer_scales(index)
+        scale_id = self._add_scale(ScaleEntry(in_scale, out_scale))
+        h, w, c = in_shape
+        self._emit(
+            Configure(
+                key=Configure.KEY_POOLING,
+                value=pack_pooling_config(layer.window, layer.stride, h, w, c),
+            )
+        )
+        reads = self._read_tensor_range(in_t, 0, in_t.rows)
+        writes, war = self._write_tensor_range(out_t, 0, out_t.rows)
+        self._emit(
+            VectorInstruction(
+                kind=VectorKind.POOL,
+                src_row=in_t.base_row,
+                dst_row=out_t.base_row,
+                rows=min(out_t.rows, 65535),
+                lanes=min(out_t.width, 65535),
+                scale_id=scale_id,
+                function=Activation.NONE,
+            ),
+            InstrDeps(reads=reads, writes=writes, war=war),
+        )
+
+    def _lower_residual(self, dst_index: int, out_t: LoweredTensor, skip_t: LoweredTensor, skip_scale: TensorScale) -> None:
+        _in, _w, out_scale = self._layer_scales(dst_index)
+        scale_id = self._add_scale(ScaleEntry(out_scale, out_scale, aux_scale=skip_scale))
+        reads = self._read_tensor_range(out_t, 0, out_t.rows) + self._read_tensor_range(skip_t, 0, skip_t.rows)
+        writes, war = self._write_tensor_range(out_t, 0, out_t.rows)
+        self._emit(
+            VectorInstruction(
+                kind=VectorKind.RESIDUAL_ADD,
+                src_row=out_t.base_row,
+                dst_row=out_t.base_row,
+                rows=min(out_t.rows, 65535),
+                lanes=min(out_t.width, 65535),
+                scale_id=scale_id,
+                aux_id=skip_t.base_row,
+            ),
+            InstrDeps(reads=reads, writes=writes, war=war),
+        )
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def lower(self) -> LoweringResult:
+        model = self.model
+        batch = model.batch_size
+        n_layers = len(model.layers)
+        input_last, last_use = self._last_use_steps()
+
+        # Pass 1: declare tensors and collect allocation requests.
+        in_rows, in_width = self._input_tensor_shape()
+        input_t = self._declare("input", in_rows, in_width, 0, input_last)
+        layer_tensors: list[LoweredTensor] = []
+        for i, layer in enumerate(model.layers):
+            rows, width = self._tensor_shape_for_layer_output(i)
+            layer_tensors.append(
+                self._declare(f"L{i}.{layer.name}", rows, width, i + 1, last_use[i])
+            )
+        self._declare_staging(input_t, layer_tensors[-1], n_layers)
+        self._predeclare_scratch()
+
+        allocation = self.allocator.allocate(self._requests, self.config.unified_buffer_bytes)
+        # Virtual row numbering: a bump cursor in declaration order keeps
+        # every tensor's addressing span disjoint; byte placement (and the
+        # Table 8 footprint) comes from the allocator above.
+        cursor = 0
+        for tensor in self._tensors.values():
+            tensor.base_row = cursor
+            cursor += tensor.row_span
+        if cursor >= SETUP_BASE:
+            raise MemoryError(
+                f"virtual row space exhausted: {cursor} rows >= {SETUP_BASE}"
+            )
+
+        # Pass 2: emit instructions.
+        host_buffers = {
+            0: HostBufferSpec(0, "input", "in", batch * model.input_elements_per_example),
+            1: HostBufferSpec(1, "output", "out", batch * model.output_elements_per_example),
+        }
+        in_writes, in_war = self._write_tensor_range(input_t, 0, input_t.rows)
+        self._emit(
+            ReadHostMemory(buffer_id=0, ub_row=input_t.base_row, rows=input_t.nbytes // ROW_BYTES),
+            InstrDeps(writes=in_writes, war=in_war),
+        )
+        shapes = model.shapes()
+        current = input_t
+        current_shape: tuple[int, ...] = model.input_shape
+        for i, layer in enumerate(model.layers):
+            self._emit(DebugTag(tag=i))
+            out_t = layer_tensors[i]
+            if isinstance(layer, FullyConnected):
+                self._lower_fc(i, layer, current, out_t)
+            elif isinstance(layer, Conv2D):
+                self._lower_conv(i, layer, current, out_t)
+            elif isinstance(layer, LSTMCell):
+                self._lower_lstm(i, layer, current, out_t)
+            elif isinstance(layer, VectorOp):
+                self._lower_vector(i, layer, current, out_t)
+            elif isinstance(layer, Pooling):
+                self._lower_pool(i, layer, current, out_t, current_shape)
+            else:
+                raise TypeError(f"cannot lower layer {layer!r}")
+            src = model.residual_sources.get(i)
+            if src is not None:
+                skip_t = input_t if src == -1 else layer_tensors[src]
+                if self.params is None:
+                    skip_scale = self._unit_scale
+                elif src == -1:
+                    skip_scale = self.params.input_scale
+                else:
+                    skip_scale = self.params.output_scales[src]
+                self._lower_residual(i, out_t, skip_t, skip_scale)
+            current = out_t
+            current_shape = shapes[i]
+        out_reads = self._read_tensor_range(current, 0, current.rows)
+        self._emit(
+            WriteHostMemory(buffer_id=1, ub_row=current.base_row, rows=current.nbytes // ROW_BYTES),
+            InstrDeps(reads=out_reads),
+        )
+        self._emit(SyncHost())
+        self._emit(InterruptHost())
+        self._emit(Halt())
+
+        tensor_table = {
+            t.name: (t.base_row, t.rows, t.width) for t in self._tensors.values()
+        }
+        metadata = {
+            "model": model.name,
+            "batch_size": batch,
+            "ub_peak_bytes": allocation.peak_bytes,
+            "allocator": allocation.allocator,
+            "weight_traffic_bytes": self._weight_traffic_bytes(),
+            "macs_per_batch": model.macs_per_batch,
+            "input_layout": self._input_layout(),
+            "input_shape": model.input_shape,
+            "output_shape": model.output_shape,
+            "tensors": tensor_table,
+            "deps": tuple(self._deps),
+        }
+        program = TPUProgram(
+            name=model.name,
+            instructions=tuple(self._instructions),
+            tiles=self._tiles,
+            scales=tuple(self._scales),
+            host_buffers=host_buffers,
+            batch_size=batch,
+            metadata=metadata,
+        )
+        return LoweringResult(program=program, allocation=allocation, tensors=self._tensors)
+
+    def _weight_traffic_bytes(self) -> int:
+        """DRAM bytes moved by the emitted Read_Weights stream (padded)."""
+        reads = sum(1 for i in self._instructions if isinstance(i, ReadWeights))
+        return reads * self.config.tile_bytes
+
+    def _declare_staging(self, input_t: LoweredTensor, output_t: LoweredTensor, n_layers: int) -> None:
+        """Reserve the driver's batch-staging region for all-FC models.
+
+        The Unified Buffer was sized to let MLPs run at batch sizes up to
+        2048 (Section 7): the driver keeps that many examples of input
+        and output staged so host DMA runs far ahead of compute.
+        Sequence and CNN apps are latency-bound and stage only the live
+        batch.
+        """
+        batch = self.model.batch_size
+        if all(layer.kind is LayerKind.FC for layer in self.model.layers):
+            extra = min(MLP_STAGING_EXAMPLES, 10 * batch) - batch
+        elif any(layer.kind is LayerKind.LSTM for layer in self.model.layers):
+            extra = batch  # double-buffer one batch of sequences each way
+        else:
+            extra = 0  # CNNs are compute-bound; the live batch suffices
+        if extra <= 0:
+            return
+        in_rows = input_t.rows // batch * extra
+        out_rows = output_t.rows // batch * extra
+        stage_in = LoweredTensor("staging.in", in_rows, input_t.width)
+        stage_out = LoweredTensor("staging.out", out_rows, output_t.width)
+        self._tensors["staging.in"] = stage_in
+        self._requests.append(Request("staging.in", stage_in.nbytes, 0, n_layers))
+        self._tensors["staging.out"] = stage_out
+        self._requests.append(Request("staging.out", stage_out.nbytes, 0, n_layers))
+
+    def _predeclare_scratch(self) -> None:
+        """Declare the scratch tensors the emitters will reference."""
+        batch = self.model.batch_size
+        shapes = self.model.shapes()
+        for i, layer in enumerate(self.model.layers):
+            if isinstance(layer, LSTMCell):
+                k = layer.input_size + layer.hidden_size
+                self._declare(f"{layer.name}.concat", batch, k, i + 1, i + 1)
+                self._declare(f"{layer.name}.h", batch, layer.hidden_size, i + 1, i + 1)
+            elif isinstance(layer, FullyConnected):
+                in_shape = self.model.input_shape if i == 0 else shapes[i - 1]
+                in_width = in_shape[-1]
+                flat = math.prod(in_shape)
+                if (
+                    layer.steps == 1
+                    and in_width != layer.in_features
+                    and flat == layer.in_features
+                ):
+                    self._declare(f"{layer.name}.flat", batch, layer.in_features, i + 1, i + 1)

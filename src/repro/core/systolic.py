@@ -1,0 +1,175 @@
+"""Cycle-level weight-stationary systolic array (Figure 4).
+
+Data flows in from the left (activations, skewed one cycle per row) and
+weights are preloaded from the top; partial sums flow downward and a
+256-element multiply-accumulate moves through the array as a diagonal
+wavefront.  Software sees the illusion that each input vector is read at
+once and instantly updates one accumulator row -- this module is where
+that illusion is actually manufactured, register by register.
+
+The array is parametric in (rows, cols) so tests can verify the wavefront
+algebra exhaustively on small instances; the full 256x256 device uses
+:class:`repro.core.matrix_unit.MatrixUnit`, which delegates the per-tile
+arithmetic to numpy once this model has established its equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SystolicTrace:
+    """Result of a simulated matrix multiply with cycle accounting."""
+
+    output: np.ndarray
+    cycles: int
+    fill_cycles: int
+    drain_cycles: int
+
+
+class SystolicArray:
+    """A weight-stationary MAC grid simulated one cycle at a time."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"array dims must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._weights = np.zeros((rows, cols), dtype=np.int64)
+        self._staged: np.ndarray | None = None
+        self._staged_rows_loaded = 0
+        # Pipeline registers: activations (flow right) and partial sums
+        # (flow down).
+        self._act = np.zeros((rows, cols), dtype=np.int64)
+        self._psum = np.zeros((rows, cols), dtype=np.int64)
+
+    # -- weight management ---------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    def stage_weights(self, tile: np.ndarray) -> None:
+        """Begin shifting a new tile in from the top (double buffering)."""
+        tile = np.asarray(tile)
+        if tile.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"tile shape {tile.shape} does not match array {self.rows}x{self.cols}"
+            )
+        self._staged = tile.astype(np.int64)
+        self._staged_rows_loaded = 0
+
+    def shift_weight_row(self) -> bool:
+        """Advance the staged tile by one row; True once fully loaded.
+
+        Loading a full tile therefore takes ``rows`` cycles -- the 256
+        cycles the paper says double buffering exists to hide.
+        """
+        if self._staged is None:
+            raise RuntimeError("no tile staged; call stage_weights first")
+        self._staged_rows_loaded += 1
+        return self._staged_rows_loaded >= self.rows
+
+    def commit_weights(self) -> None:
+        """Swap the fully staged tile into the active plane."""
+        if self._staged is None:
+            raise RuntimeError("no tile staged")
+        if self._staged_rows_loaded < self.rows:
+            raise RuntimeError(
+                f"tile only {self._staged_rows_loaded}/{self.rows} rows loaded"
+            )
+        self._weights = self._staged
+        self._staged = None
+        self._staged_rows_loaded = 0
+
+    def load_weights(self, tile: np.ndarray) -> int:
+        """Stage, shift, and commit a tile; returns the cycles consumed."""
+        self.stage_weights(tile)
+        while not self.shift_weight_row():
+            pass
+        self.commit_weights()
+        return self.rows
+
+    # -- systolic execution ---------------------------------------------------
+    def _feed_column(self, x: np.ndarray, cycle: int) -> np.ndarray:
+        """Activations entering column 0 this cycle (skewed by row)."""
+        batch = x.shape[0]
+        column = np.zeros(self.rows, dtype=np.int64)
+        for r in range(self.rows):
+            b = cycle - r
+            if 0 <= b < batch:
+                column[r] = x[b, r]
+        return column
+
+    def step(self, x: np.ndarray, cycle: int) -> np.ndarray:
+        """Advance one clock; returns the bottom-row partial sums.
+
+        Implements the two register files exactly: activations shift one
+        column right, partial sums shift one row down while absorbing the
+        local weight * activation product.
+        """
+        # Activations flow right.
+        self._act[:, 1:] = self._act[:, :-1]
+        self._act[:, 0] = self._feed_column(x, cycle)
+        # Partial sums flow down, absorbing this cell's product.
+        product = self._weights * self._act
+        new_psum = np.empty_like(self._psum)
+        new_psum[0, :] = product[0, :]
+        new_psum[1:, :] = self._psum[:-1, :] + product[1:, :]
+        self._psum = new_psum
+        return self._psum[self.rows - 1, :].copy()
+
+    def run_matmul(self, x: np.ndarray) -> SystolicTrace:
+        """Multiply (B, rows) activations by the resident (rows, cols) tile.
+
+        The result row for batch element ``b`` and column ``c`` emerges
+        from the bottom of column ``c`` at cycle ``b + c + rows - 1``;
+        total latency is ``B + rows + cols - 2`` cycles, of which B are
+        the pipelined steady state the paper charges per instruction.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2 or x.shape[1] != self.rows:
+            raise ValueError(
+                f"input must be (B, {self.rows}), got {x.shape}"
+            )
+        batch = x.shape[0]
+        self._act[:] = 0
+        self._psum[:] = 0
+        total_cycles = batch + self.rows + self.cols - 2
+        out = np.zeros((batch, self.cols), dtype=np.int64)
+        for t in range(total_cycles):
+            bottom = self.step(x, t)
+            for c in range(self.cols):
+                b = t - c - (self.rows - 1)
+                if 0 <= b < batch:
+                    out[b, c] = bottom[c]
+        return SystolicTrace(
+            output=out,
+            cycles=total_cycles,
+            fill_cycles=self.rows - 1,
+            drain_cycles=self.cols - 1,
+        )
+
+    # -- visualization (Figure 4) ----------------------------------------------
+    def wavefront(self, cycle: int, batch: int) -> np.ndarray:
+        """Boolean grid of cells doing useful work at ``cycle``.
+
+        Cell (r, c) processes batch row ``cycle - r - c``; the active set
+        is the anti-diagonal band the paper draws in Figure 4.
+        """
+        grid = np.zeros((self.rows, self.cols), dtype=bool)
+        for r in range(self.rows):
+            for c in range(self.cols):
+                b = cycle - r - c
+                grid[r, c] = 0 <= b < batch
+        return grid
+
+    def render_wavefront(self, cycle: int, batch: int) -> str:
+        """ASCII picture of the diagonal wavefront for small arrays."""
+        grid = self.wavefront(cycle, batch)
+        lines = [f"cycle {cycle}: '#' = MAC active, '.' = idle"]
+        for r in range(self.rows):
+            lines.append("".join("#" if grid[r, c] else "." for c in range(self.cols)))
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""The 24 MiB software-managed Unified Buffer.
+
+Byte-addressable on-chip SRAM holding activations between layers.  The
+hardware addresses it in 256-byte rows (the width of the internal paths);
+this model enforces capacity, tracks a high-water mark for Table 8, and
+performs the actual reads/writes for the functional path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnifiedBuffer:
+    """Bounds-checked int8 SRAM with high-water-mark accounting."""
+
+    def __init__(self, capacity_bytes: int, row_bytes: int = 256) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if row_bytes <= 0 or capacity_bytes % row_bytes != 0:
+            raise ValueError(
+                f"capacity {capacity_bytes} must be a multiple of row size {row_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.row_bytes = row_bytes
+        self._data = np.zeros(capacity_bytes, dtype=np.int8)
+        self._high_water = 0
+
+    @property
+    def rows(self) -> int:
+        return self.capacity_bytes // self.row_bytes
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Highest byte address ever touched + 1 (Table 8's footprint)."""
+        return self._high_water
+
+    def _check_range(self, offset: int, size: int, op: str) -> None:
+        if offset < 0 or size < 0:
+            raise ValueError(f"{op}: negative offset/size ({offset}, {size})")
+        if offset + size > self.capacity_bytes:
+            raise MemoryError(
+                f"{op} of {size} B at offset {offset} exceeds Unified Buffer "
+                f"capacity {self.capacity_bytes} B"
+            )
+
+    def write(self, offset: int, values: np.ndarray) -> None:
+        flat = np.asarray(values, dtype=np.int8).reshape(-1)
+        self._check_range(offset, flat.size, "write")
+        self._data[offset : offset + flat.size] = flat
+        self._high_water = max(self._high_water, offset + flat.size)
+
+    def read(self, offset: int, size: int) -> np.ndarray:
+        self._check_range(offset, size, "read")
+        self._high_water = max(self._high_water, offset + size)
+        return self._data[offset : offset + size].copy()
+
+    def reset(self) -> None:
+        self._data[:] = 0
+        self._high_water = 0

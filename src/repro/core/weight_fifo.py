@@ -1,0 +1,61 @@
+"""The on-chip Weight FIFO: a four-tile staging queue.
+
+Read_Weights follows the decoupled-access/execute philosophy [Smi82]: the
+instruction retires once its address is issued, and the matrix unit stalls
+only if a tile has not arrived by the time it must shift in.  The FIFO's
+four-tile depth bounds how far ahead the fetch engine can run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Entry:
+    tile_id: int
+    data: np.ndarray | None  # None in timing-only mode
+    ready_time: float  # seconds at which the DRAM transfer completes
+
+
+class WeightFIFO:
+    """A bounded queue of weight tiles with arrival-time semantics."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError(f"FIFO depth must be positive, got {depth}")
+        self.depth = depth
+        self._entries: deque[_Entry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    def push(self, tile_id: int, data: np.ndarray | None, ready_time: float) -> None:
+        if self.full:
+            raise OverflowError(
+                f"Weight FIFO overflow: depth {self.depth} exceeded "
+                f"(the fetch engine must block before pushing)"
+            )
+        self._entries.append(_Entry(tile_id, data, ready_time))
+
+    def pop(self) -> tuple[int, np.ndarray | None, float]:
+        """Remove the head tile; returns (tile_id, data, ready_time)."""
+        if not self._entries:
+            raise IndexError("Weight FIFO underflow: no tile staged")
+        entry = self._entries.popleft()
+        return entry.tile_id, entry.data, entry.ready_time
+
+    def head_ready_time(self) -> float:
+        if not self._entries:
+            raise IndexError("Weight FIFO underflow: no tile staged")
+        return self._entries[0].ready_time
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,57 @@
+"""Off-chip Weight Memory: the 8 GiB read-only DRAM holding weight tiles.
+
+For inference, weights are written once at model-load time (the User Space
+driver's "weight image") and then only read.  Timing is a simple bandwidth
+model -- the same first-order treatment the paper's Section 7 model uses,
+where the 64 KiB tile read time (~1.9 us at 34 GB/s, ~1350 cycles at
+700 MHz) is what starves the MLPs and LSTMs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightMemory:
+    """Tile-granular DRAM with capacity enforcement and byte accounting."""
+
+    def __init__(self, capacity_bytes: int, bandwidth_bytes_per_s: float) -> None:
+        if capacity_bytes <= 0 or bandwidth_bytes_per_s <= 0:
+            raise ValueError("capacity and bandwidth must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.bandwidth = bandwidth_bytes_per_s
+        self._tiles: dict[int, np.ndarray] = {}
+        self._bytes_used = 0
+        self.bytes_read = 0
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    def store_tile(self, tile_id: int, tile: np.ndarray) -> None:
+        """Write a tile into DRAM (model-load time, not on the fast path)."""
+        tile = np.ascontiguousarray(tile)
+        if tile_id in self._tiles:
+            self._bytes_used -= self._tiles[tile_id].nbytes
+        if self._bytes_used + tile.nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"weight image exceeds Weight Memory: "
+                f"{self._bytes_used + tile.nbytes} > {self.capacity_bytes} B"
+            )
+        self._tiles[tile_id] = tile
+        self._bytes_used += tile.nbytes
+
+    def read_tile(self, tile_id: int) -> tuple[np.ndarray, float]:
+        """Fetch a tile; returns (data, seconds the transfer occupies)."""
+        try:
+            tile = self._tiles[tile_id]
+        except KeyError:
+            raise KeyError(f"tile {tile_id} not present in Weight Memory") from None
+        self.bytes_read += tile.nbytes
+        return tile, tile.nbytes / self.bandwidth
+
+    def __contains__(self, tile_id: int) -> bool:
+        return tile_id in self._tiles
+
+    def __len__(self) -> int:
+        return len(self._tiles)

@@ -1,0 +1,58 @@
+"""The TPU's CISC instruction set (Section 2).
+
+About a dozen instructions, five of which do almost all the work:
+Read_Host_Memory, Read_Weights, MatrixMultiply/Convolve, Activate, and
+Write_Host_Memory.  Instructions are sent by the host over PCIe, average
+10-20 clock cycles per instruction, and the MatrixMultiply encoding is
+12 bytes: 3 of Unified Buffer address, 2 of accumulator address, 4 of
+length, and the rest opcode and flags.
+"""
+
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.encoding import decode_instruction, decode_program, encode_instruction, encode_program
+from repro.isa.instructions import (
+    Activate,
+    Configure,
+    DebugTag,
+    Halt,
+    Instruction,
+    InterruptHost,
+    MatrixMultiply,
+    Nop,
+    ReadHostMemory,
+    ReadWeights,
+    Sync,
+    SyncHost,
+    VectorInstruction,
+    WriteHostMemory,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import HostBufferSpec, ScaleEntry, TileSpec, TPUProgram
+
+__all__ = [
+    "Activate",
+    "Configure",
+    "DebugTag",
+    "Halt",
+    "HostBufferSpec",
+    "Instruction",
+    "InterruptHost",
+    "MatrixMultiply",
+    "Nop",
+    "Opcode",
+    "ReadHostMemory",
+    "ReadWeights",
+    "ScaleEntry",
+    "Sync",
+    "SyncHost",
+    "TPUProgram",
+    "TileSpec",
+    "VectorInstruction",
+    "WriteHostMemory",
+    "assemble",
+    "decode_instruction",
+    "decode_program",
+    "disassemble",
+    "encode_instruction",
+    "encode_program",
+]

@@ -1,0 +1,100 @@
+"""A tiny assembler/disassembler for the TPU ISA.
+
+The text form exists for tests, debugging, and the examples: one
+instruction per line, ``opcode key=value ...``.  ``assemble`` and
+``disassemble`` are exact inverses on every representable instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.isa.instructions import (
+    Activate,
+    Configure,
+    DebugTag,
+    Halt,
+    Instruction,
+    InterruptHost,
+    MatrixMultiply,
+    Nop,
+    ReadHostMemory,
+    ReadWeights,
+    Sync,
+    SyncHost,
+    VectorInstruction,
+    WriteHostMemory,
+)
+from repro.nn.layers import Activation
+
+_MNEMONICS: dict[str, type] = {
+    "read_host": ReadHostMemory,
+    "write_host": WriteHostMemory,
+    "read_weights": ReadWeights,
+    "matmul": MatrixMultiply,
+    "activate": Activate,
+    "vector": VectorInstruction,
+    "sync": Sync,
+    "sync_host": SyncHost,
+    "configure": Configure,
+    "interrupt_host": InterruptHost,
+    "debug_tag": DebugTag,
+    "nop": Nop,
+    "halt": Halt,
+}
+_CLASS_TO_MNEMONIC = {cls: name for name, cls in _MNEMONICS.items()}
+
+
+def disassemble_instruction(instr: Instruction) -> str:
+    mnemonic = _CLASS_TO_MNEMONIC[type(instr)]
+    parts = [mnemonic]
+    for f in fields(instr):
+        value = getattr(instr, f.name)
+        if isinstance(value, Activation):
+            value = value.value
+        elif isinstance(value, bool):
+            value = int(value)
+        parts.append(f"{f.name}={value}")
+    return " ".join(parts)
+
+
+def disassemble(instructions: list[Instruction]) -> str:
+    """Render an instruction stream as assembly text."""
+    return "\n".join(disassemble_instruction(i) for i in instructions)
+
+
+def _parse_value(cls: type, field_name: str, raw: str) -> object:
+    annotations = {f.name: f.type for f in fields(cls)}
+    kind = annotations[field_name]
+    if kind in ("bool", bool):
+        return raw not in ("0", "False", "false")
+    if kind in ("Activation", Activation):
+        return Activation(raw)
+    return int(raw)
+
+
+def assemble_instruction(line: str) -> Instruction:
+    tokens = line.split()
+    if not tokens:
+        raise ValueError("cannot assemble an empty line")
+    mnemonic = tokens[0].lower()
+    if mnemonic not in _MNEMONICS:
+        raise ValueError(f"unknown mnemonic {mnemonic!r} (line: {line!r})")
+    cls = _MNEMONICS[mnemonic]
+    kwargs = {}
+    for token in tokens[1:]:
+        if "=" not in token:
+            raise ValueError(f"malformed operand {token!r} in line {line!r}")
+        key, raw = token.split("=", 1)
+        kwargs[key] = _parse_value(cls, key, raw)
+    return cls(**kwargs)
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble newline-separated instructions; '#' starts a comment."""
+    instructions = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if line:
+            instructions.append(assemble_instruction(line))
+    return instructions

@@ -1,0 +1,193 @@
+"""Binary encoding of TPU instructions.
+
+The base format is the paper's 12-byte CISC layout:
+
+====== ======== ==============================================
+bytes  field    notes
+====== ======== ==============================================
+0      opcode
+1-2    flags    per-opcode bitfield (little-endian)
+3-5    UB addr  3 bytes of Unified Buffer row address
+6-8,   acc/len  2 bytes of accumulator address, 4 of length
+6-11            (sometimes two dimensions, e.g. rows|lanes)
+====== ======== ==============================================
+
+The fused VECTOR op is 16 bytes because it carries a second source
+address.  ``encode -> decode`` is the identity on every instruction,
+which the property tests exercise exhaustively.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    Activate,
+    Configure,
+    DebugTag,
+    Halt,
+    Instruction,
+    InterruptHost,
+    MatrixMultiply,
+    Nop,
+    ReadHostMemory,
+    ReadWeights,
+    Sync,
+    SyncHost,
+    VectorInstruction,
+    WriteHostMemory,
+)
+from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
+from repro.nn.layers import Activation
+
+_ACT_CODES = {
+    Activation.NONE: 0,
+    Activation.RELU: 1,
+    Activation.SIGMOID: 2,
+    Activation.TANH: 3,
+}
+_ACT_FROM_CODE = {v: k for k, v in _ACT_CODES.items()}
+
+
+def _u(value: int, nbytes: int) -> bytes:
+    return int(value).to_bytes(nbytes, "little")
+
+
+def _base(opcode: Opcode, flags: int, ub: int, acc: int, length: int) -> bytes:
+    return bytes([opcode]) + _u(flags, 2) + _u(ub, 3) + _u(acc, 2) + _u(length, 4)
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Serialize one instruction to its binary form."""
+    if isinstance(instr, (ReadHostMemory, WriteHostMemory)):
+        return _base(instr.opcode, int(instr.alt), instr.ub_row, instr.buffer_id, instr.rows)
+    if isinstance(instr, ReadWeights):
+        return _base(instr.opcode, 0, 0, 0, instr.tile_id)
+    if isinstance(instr, MatrixMultiply):
+        flags = (
+            int(instr.accumulate)
+            | (int(instr.load_new_tile) << 1)
+            | (int(instr.weight_bits == 16) << 2)
+            | (int(instr.activation_bits == 16) << 3)
+            | (int(instr.convolve) << 4)
+        )
+        return _base(instr.opcode, flags, instr.ub_row, instr.acc_row, instr.rows)
+    if isinstance(instr, Activate):
+        flags = (
+            _ACT_CODES[instr.function]
+            | (int(instr.pool) << 3)
+            | (instr.scale_id << 4)
+        )
+        length = instr.rows | (instr.lanes << 16)
+        return _base(instr.opcode, flags, instr.ub_row, instr.acc_row, length)
+    if isinstance(instr, VectorInstruction):
+        flags = instr.kind | (_ACT_CODES[instr.function] << 3) | (instr.scale_id << 6)
+        return (
+            bytes([instr.opcode])
+            + _u(flags, 2)
+            + _u(instr.dst_row, 3)
+            + _u(instr.src_row, 3)
+            + _u(instr.aux_id, 3)
+            + _u(instr.rows, 2)
+            + _u(instr.lanes, 2)
+        )
+    if isinstance(instr, Configure):
+        value = instr.value
+        return _base(
+            instr.opcode,
+            (value >> 56) & 0xFFFF,
+            value & 0xFFFFFF,
+            instr.key,
+            (value >> 24) & 0xFFFFFFFF,
+        )
+    if isinstance(instr, DebugTag):
+        return _base(instr.opcode, 0, 0, 0, instr.tag)
+    if isinstance(instr, (Sync, SyncHost, InterruptHost, Nop, Halt)):
+        return _base(instr.opcode, 0, 0, 0, 0)
+    raise TypeError(f"cannot encode {type(instr)!r}")
+
+
+def decode_instruction(blob: bytes) -> tuple[Instruction, int]:
+    """Decode one instruction from the head of ``blob``.
+
+    Returns (instruction, bytes consumed).
+    """
+    if not blob:
+        raise ValueError("cannot decode an empty blob")
+    opcode = Opcode(blob[0])
+    size = INSTRUCTION_BYTES[opcode]
+    if len(blob) < size:
+        raise ValueError(f"truncated {opcode.name}: {len(blob)} < {size} bytes")
+    flags = int.from_bytes(blob[1:3], "little")
+    if opcode is Opcode.VECTOR:
+        instr: Instruction = VectorInstruction(
+            kind=flags & 0x7,
+            function=_ACT_FROM_CODE[(flags >> 3) & 0x7],
+            scale_id=flags >> 6,
+            dst_row=int.from_bytes(blob[3:6], "little"),
+            src_row=int.from_bytes(blob[6:9], "little"),
+            aux_id=int.from_bytes(blob[9:12], "little"),
+            rows=int.from_bytes(blob[12:14], "little"),
+            lanes=int.from_bytes(blob[14:16], "little"),
+        )
+        return instr, size
+    ub = int.from_bytes(blob[3:6], "little")
+    acc = int.from_bytes(blob[6:8], "little")
+    length = int.from_bytes(blob[8:12], "little")
+    if opcode is Opcode.READ_HOST_MEMORY:
+        instr = ReadHostMemory(buffer_id=acc, ub_row=ub, rows=length, alt=bool(flags & 1))
+    elif opcode is Opcode.WRITE_HOST_MEMORY:
+        instr = WriteHostMemory(buffer_id=acc, ub_row=ub, rows=length, alt=bool(flags & 1))
+    elif opcode is Opcode.READ_WEIGHTS:
+        instr = ReadWeights(tile_id=length)
+    elif opcode is Opcode.MATRIX_MULTIPLY:
+        instr = MatrixMultiply(
+            ub_row=ub,
+            acc_row=acc,
+            rows=length,
+            accumulate=bool(flags & 1),
+            load_new_tile=bool(flags & 2),
+            weight_bits=16 if flags & 4 else 8,
+            activation_bits=16 if flags & 8 else 8,
+            convolve=bool(flags & 16),
+        )
+    elif opcode is Opcode.ACTIVATE:
+        instr = Activate(
+            acc_row=acc,
+            ub_row=ub,
+            rows=length & 0xFFFF,
+            lanes=length >> 16,
+            function=_ACT_FROM_CODE[flags & 0x7],
+            pool=bool(flags & 0x8),
+            scale_id=flags >> 4,
+        )
+    elif opcode is Opcode.CONFIGURE:
+        instr = Configure(key=acc, value=ub | (length << 24) | (flags << 56))
+    elif opcode is Opcode.DEBUG_TAG:
+        instr = DebugTag(tag=length)
+    elif opcode is Opcode.SYNC:
+        instr = Sync()
+    elif opcode is Opcode.SYNC_HOST:
+        instr = SyncHost()
+    elif opcode is Opcode.INTERRUPT_HOST:
+        instr = InterruptHost()
+    elif opcode is Opcode.NOP:
+        instr = Nop()
+    elif opcode is Opcode.HALT:
+        instr = Halt()
+    else:  # pragma: no cover -- Opcode() above would already have raised
+        raise ValueError(f"unhandled opcode {opcode}")
+    return instr, size
+
+
+def encode_program(instructions: list[Instruction]) -> bytes:
+    """Serialize an instruction stream (the 'application binary')."""
+    return b"".join(encode_instruction(i) for i in instructions)
+
+
+def decode_program(blob: bytes) -> list[Instruction]:
+    instructions = []
+    offset = 0
+    while offset < len(blob):
+        instr, size = decode_instruction(blob[offset:])
+        instructions.append(instr)
+        offset += size
+    return instructions

@@ -1,0 +1,34 @@
+"""Opcode assignments for the TPU's CISC instruction set."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Opcode(IntEnum):
+    """The ~dozen TPU instructions (Section 2).
+
+    Alternate host memory read/write are flag variants of the base host
+    ops, and Convolve is a flag variant of MatrixMultiply, matching the
+    paper's description of the instruction list.
+    """
+
+    READ_HOST_MEMORY = 0x01
+    WRITE_HOST_MEMORY = 0x02
+    READ_WEIGHTS = 0x03
+    MATRIX_MULTIPLY = 0x04
+    ACTIVATE = 0x05
+    VECTOR = 0x06  # fused element-wise ops in the vector path [Tho15]
+    SYNC = 0x07
+    SYNC_HOST = 0x08
+    CONFIGURE = 0x09
+    INTERRUPT_HOST = 0x0A
+    DEBUG_TAG = 0x0B
+    NOP = 0x0C
+    HALT = 0x0D
+
+
+#: Encoded instruction sizes in bytes.  Everything is the paper's 12-byte
+#: format except the fused vector op, which needs a second source address.
+INSTRUCTION_BYTES = {opcode: 12 for opcode in Opcode}
+INSTRUCTION_BYTES[Opcode.VECTOR] = 16

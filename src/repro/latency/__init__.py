@@ -1,0 +1,12 @@
+"""Response-time analysis: the batching queue behind Table 4."""
+
+from repro.latency.queueing import BatchQueueStats, simulate_batch_queue
+from repro.latency.sweep import Table4Row, max_ips_under_sla, table4_rows
+
+__all__ = [
+    "BatchQueueStats",
+    "Table4Row",
+    "max_ips_under_sla",
+    "simulate_batch_queue",
+    "table4_rows",
+]

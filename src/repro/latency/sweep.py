@@ -1,0 +1,120 @@
+"""Table 4: p99 response time and throughput for MLP0 as batch varies.
+
+For each (platform, batch) pair the harness searches for the highest
+offered load whose simulated p99 still fits the 7 ms limit; where no load
+fits (the large-batch rows), it reports the near-capacity operating point
+and its (over-limit) p99, exactly as the paper's 100%-max-IPS rows do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.latency.queueing import simulate_batch_queue, simulate_closed_loop
+from repro.nn.graph import Model
+from repro.platforms.base import Platform
+from repro.platforms.tpu import TPUPlatform
+
+#: The MLP0 application developer's limit (Table 4).
+MLP0_SLA_SECONDS = 7e-3
+
+#: The batch sizes the paper benchmarked per platform.
+TABLE4_BATCHES = {"cpu": (16, 64), "gpu": (16, 64), "tpu": (200, 250)}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    platform: str
+    batch: int
+    p99_seconds: float
+    ips: float
+    pct_of_max: float
+    met_sla: bool
+
+
+def _occupancy_latency(platform: Platform, model: Model, batch: int) -> tuple[float, float]:
+    latency = platform.service_seconds(model, batch)
+    if isinstance(platform, TPUPlatform):
+        occupancy = max(
+            platform.device_seconds(model, batch), platform.host_seconds(model, batch)
+        )
+        return occupancy, latency
+    return latency, latency
+
+
+def max_ips_under_sla(
+    platform: Platform,
+    model: Model,
+    batch: int,
+    sla_seconds: float = MLP0_SLA_SECONDS,
+    n_requests: int = 20000,
+    seed: int = 0,
+) -> tuple[float, float, bool]:
+    """Open-loop view: (throughput, p99, met) at the best Poisson load.
+
+    Scans offered load downward from capacity; returns the first point
+    whose p99 fits, or the near-capacity point if none does.  Used by the
+    queueing analyses; Table 4 itself reports the closed-loop points
+    (see :func:`table4_rows`).
+    """
+    occupancy, latency = _occupancy_latency(platform, model, batch)
+    capacity = batch / occupancy
+    fallback = None
+    for fraction in (0.98, 0.95, 0.9, 0.85, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2):
+        stats = simulate_batch_queue(
+            arrival_rate=capacity * fraction,
+            batch_size=batch,
+            occupancy_seconds=occupancy,
+            latency_seconds=latency,
+            n_requests=n_requests,
+            seed=seed,
+        )
+        if fallback is None:
+            fallback = stats
+        if stats.p99_seconds <= sla_seconds:
+            return stats.throughput_ips, stats.p99_seconds, True
+    return fallback.throughput_ips, fallback.p99_seconds, False
+
+
+def table4_rows(
+    mlp0: Model,
+    platforms: dict[str, Platform],
+    sla_seconds: float = MLP0_SLA_SECONDS,
+) -> list[Table4Row]:
+    """The six Table 4 rows (CPU/GPU at 16/64, TPU at 200/250).
+
+    Matches the paper's measurement style: a closed-loop load generator
+    drives each batch configuration to capacity, so IPS is batch/service
+    and p99 reflects the serving pipeline's depth (the platform's
+    calibrated p99 factor plays the concurrency-depth role).
+    """
+    rows = []
+    for kind, batches in TABLE4_BATCHES.items():
+        platform = platforms[kind]
+        results = []
+        for batch in batches:
+            occupancy, latency = _occupancy_latency(platform, mlp0, batch)
+            concurrency = max(int(round(platform.p99_factor * batch)), batch)
+            stats = simulate_closed_loop(
+                concurrency=concurrency,
+                batch_size=batch,
+                occupancy_seconds=occupancy,
+                latency_seconds=latency,
+            )
+            results.append(
+                (batch, stats.throughput_ips, stats.p99_seconds,
+                 stats.p99_seconds <= sla_seconds)
+            )
+        best_ips = max(r[1] for r in results)
+        for batch, ips, p99, met in results:
+            rows.append(
+                Table4Row(
+                    platform=platform.name,
+                    batch=batch,
+                    p99_seconds=p99,
+                    ips=ips,
+                    pct_of_max=ips / best_ips,
+                    met_sla=met,
+                )
+            )
+    return rows

@@ -1,0 +1,63 @@
+"""Neural-network substrate: layers, models, reference execution, workloads.
+
+This package supplies everything the paper's evaluation needs from the NN
+side: the layer algebra (fully connected, convolution, LSTM, pooling,
+element-wise vector ops), a float32 reference executor, symmetric int8/int16
+quantization, and the six production-representative applications of Table 1
+(MLP0/1, LSTM0/1, CNN0/1) together with the datacenter deployment mix.
+"""
+
+from repro.nn.graph import Model, ShapeError, infer_shapes
+from repro.nn.layers import (
+    Activation,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    LayerKind,
+    LSTMCell,
+    Pooling,
+    VectorOp,
+)
+from repro.nn.quantization import QuantizedTensor, TensorScale, quantize, dequantize
+from repro.nn.reference import ReferenceExecutor
+from repro.nn.workloads import (
+    DEPLOYMENT_MIX,
+    WORKLOAD_BUILDERS,
+    build_workload,
+    cnn0,
+    cnn1,
+    lstm0,
+    lstm1,
+    mlp0,
+    mlp1,
+    paper_workloads,
+)
+
+__all__ = [
+    "Activation",
+    "Conv2D",
+    "DEPLOYMENT_MIX",
+    "FullyConnected",
+    "LSTMCell",
+    "Layer",
+    "LayerKind",
+    "Model",
+    "Pooling",
+    "QuantizedTensor",
+    "ReferenceExecutor",
+    "ShapeError",
+    "TensorScale",
+    "VectorOp",
+    "WORKLOAD_BUILDERS",
+    "build_workload",
+    "cnn0",
+    "cnn1",
+    "dequantize",
+    "infer_shapes",
+    "lstm0",
+    "lstm1",
+    "mlp0",
+    "mlp1",
+    "paper_workloads",
+    "quantize",
+]

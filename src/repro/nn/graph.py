@@ -1,0 +1,194 @@
+"""Model graphs: ordered layers plus optional residual (skip) connections.
+
+A :class:`Model` is the unit the compiler consumes and the platforms
+evaluate.  It carries the per-example input shape and the application's TPU
+batch size (Table 1), and computes the aggregate characteristics the paper
+reports: total weights, MACs, operational intensity (MACs per byte of
+weights read from Weight Memory per batch), and the layer census.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.nn.layers import Activation, Layer, LayerKind, LSTMCell, VectorOp
+
+
+class ShapeError(ValueError):
+    """Raised when a model's layers do not compose."""
+
+
+def infer_shapes(
+    layers: tuple[Layer, ...], input_shape: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Per-layer output shapes, validating layer compatibility."""
+    shapes = []
+    current = input_shape
+    for layer in layers:
+        try:
+            current = layer.output_shape(current)
+        except ValueError as exc:
+            raise ShapeError(str(exc)) from exc
+        shapes.append(current)
+    return shapes
+
+
+@dataclass(frozen=True)
+class Model:
+    """A feed-forward network with optional residual additions.
+
+    ``residual_sources`` maps a layer index to the index of an *earlier*
+    layer whose output is added element-wise to that layer's output (the
+    input counts as index -1).  Residuals matter for the Unified Buffer
+    allocator: a skipped-over tensor must stay live, which is what drives
+    CNN1's large footprint in Table 8.
+    """
+
+    name: str
+    layers: tuple[Layer, ...]
+    input_shape: tuple[int, ...]
+    batch_size: int
+    residual_sources: Mapping[int, int] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ShapeError(f"{self.name}: a model needs at least one layer")
+        if self.batch_size <= 0:
+            raise ValueError(f"{self.name}: batch_size must be positive")
+        shapes = infer_shapes(self.layers, self.input_shape)
+        for dst, src in self.residual_sources.items():
+            if not -1 <= src < dst < len(self.layers):
+                raise ShapeError(
+                    f"{self.name}: residual {src}->{dst} is not an earlier layer"
+                )
+            src_shape = self.input_shape if src == -1 else shapes[src]
+            if src_shape != shapes[dst]:
+                raise ShapeError(
+                    f"{self.name}: residual {src}->{dst} shape mismatch "
+                    f"{src_shape} vs {shapes[dst]}"
+                )
+        # Freeze the mapping so the dataclass stays hashable-by-identity safe.
+        object.__setattr__(
+            self, "residual_sources", MappingProxyType(dict(self.residual_sources))
+        )
+
+    # -- shapes -----------------------------------------------------------
+    def shapes(self) -> list[tuple[int, ...]]:
+        """Output shape of every layer, in order."""
+        return infer_shapes(self.layers, self.input_shape)
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        return self.shapes()[-1]
+
+    @staticmethod
+    def _elements(shape: tuple[int, ...]) -> int:
+        return math.prod(shape)
+
+    @property
+    def input_elements_per_example(self) -> int:
+        return self._elements(self.input_shape)
+
+    @property
+    def output_elements_per_example(self) -> int:
+        return self._elements(self.output_shape)
+
+    # -- census (Table 1) --------------------------------------------------
+    def layer_census(self) -> dict[str, int]:
+        """Layer counts in Table 1's taxonomy (LSTM cells count as FC)."""
+        counts = {"fc": 0, "conv": 0, "vector": 0, "pool": 0}
+        for layer in self.layers:
+            if layer.kind in (LayerKind.FC, LayerKind.LSTM):
+                counts["fc"] += 1
+            elif layer.kind is LayerKind.CONV:
+                counts["conv"] += 1
+            elif layer.kind is LayerKind.VECTOR:
+                counts["vector"] += 1
+            elif layer.kind is LayerKind.POOL:
+                counts["pool"] += 1
+        counts["total"] = sum(counts.values())
+        return counts
+
+    def nonlinearities(self) -> list[str]:
+        """Distinct nonlinear functions used, for the Table 1 column."""
+        names = []
+        for layer in self.layers:
+            act = layer.activation
+            if isinstance(layer, LSTMCell):
+                for gate_act in (Activation.SIGMOID, Activation.TANH):
+                    if gate_act.value not in names:
+                        names.append(gate_act.value)
+            elif act not in (Activation.NONE,) and act.value not in names:
+                names.append(act.value)
+        return names
+
+    # -- cost totals --------------------------------------------------------
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+    def weight_bytes_per_batch(self, dtype_bytes: int = 1) -> int:
+        """Bytes of weights streamed from Weight Memory to serve one batch.
+
+        Weights do not fit on chip, so each layer's weights are read once
+        per batch -- and once per *time step* for LSTM layers, which is
+        the mechanism that pins LSTM operational intensity at the batch
+        size (Table 1).
+        """
+        return sum(
+            layer.weight_count * layer.steps * dtype_bytes for layer in self.layers
+        )
+
+    @property
+    def macs_per_example(self) -> int:
+        return sum(layer.macs_per_example for layer in self.layers)
+
+    @property
+    def macs_per_batch(self) -> int:
+        return self.macs_per_example * self.batch_size
+
+    @property
+    def steps_per_example(self) -> int:
+        """Time steps per example (1 for feed-forward models).
+
+        Sequence models serve one decoding step per user-visible
+        inference, so throughput and latency SLAs are per *step*.
+        """
+        return max(layer.steps for layer in self.layers)
+
+    @property
+    def inferences_per_batch(self) -> int:
+        """User-visible inferences served by one batch."""
+        return self.batch_size * self.steps_per_example
+
+    def ops_per_weight_byte(self, dtype_bytes: int = 1) -> float:
+        """Operational intensity in MACs per weight byte (Table 1 column)."""
+        weight_bytes = self.weight_bytes_per_batch(dtype_bytes)
+        if weight_bytes == 0:
+            return math.inf
+        return self.macs_per_batch / weight_bytes
+
+    def vector_elements_per_example(self) -> int:
+        """Element-wise (non-matrix) work per example, resolved to shapes."""
+        total = 0
+        shapes = self.shapes()
+        for layer, shape in zip(self.layers, shapes):
+            if isinstance(layer, VectorOp):
+                total += self._elements(shape) * layer.steps
+            else:
+                total += layer.vector_elements_per_example
+        return total
+
+    def summary(self) -> str:
+        census = self.layer_census()
+        return (
+            f"{self.name}: {census['total']} layers "
+            f"(FC {census['fc']}, conv {census['conv']}, vector {census['vector']}, "
+            f"pool {census['pool']}), {self.total_weights / 1e6:.1f}M weights, "
+            f"batch {self.batch_size}, "
+            f"{self.ops_per_weight_byte():.0f} MACs/weight-byte"
+        )

@@ -1,0 +1,358 @@
+"""Layer algebra for the six benchmark networks.
+
+Each layer type knows three things:
+
+1. its *functional* signature (input/output shapes) so the reference
+   executor and the TPU functional path can run it;
+2. its *cost* signature (weights, MACs, vector elements, weight-DRAM
+   traffic) so the compiler, performance model, and roofline agree on
+   operational intensity (MACs per byte of weights read, the paper's
+   Table 1 convention);
+3. its *matrix view* -- the (K, N) weight matrix and the number of
+   input rows per example -- which is what the compiler tiles onto the
+   256x256 Matrix Multiply Unit.
+
+Shapes follow channels-last (B, H, W, C) for images and (B, T, F) for
+sequences.  Weights are biasless: the paper's analysis depends only on the
+weight matrix traffic, and omitting biases keeps the quantized functional
+path bit-exact and simple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Union
+
+
+class LayerKind(str, Enum):
+    """Table 1 layer taxonomy (LSTM cells count as FC there)."""
+
+    FC = "fc"
+    CONV = "conv"
+    LSTM = "lstm"
+    VECTOR = "vector"
+    POOL = "pool"
+
+
+class Activation(str, Enum):
+    """Nonlinearities supported by the TPU Activate instruction."""
+
+    NONE = "none"
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+
+
+def _require_positive(**fields: int) -> None:
+    for name, value in fields.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class FullyConnected:
+    """A dense layer: ``y = act(x @ W)`` with W of shape (in, out).
+
+    ``steps > 1`` marks a projection that sits inside a recurrent loop
+    (LSTM1's 600x600 matrices): it is applied once per time step, and --
+    because the TPU streams a model's weights layer-by-layer every step --
+    its weights are re-read from Weight Memory ``steps`` times per batch.
+    A flat input whose total element count equals ``in_features`` is
+    flattened implicitly (conv -> FC transitions).
+    """
+
+    name: str
+    in_features: int
+    out_features: int
+    activation: Activation = Activation.RELU
+    steps: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            in_features=self.in_features,
+            out_features=self.out_features,
+            steps=self.steps,
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FC
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def matmul_shape(self) -> tuple[int, int]:
+        """(K, N) of the weight matrix the MXU multiplies by."""
+        return (self.in_features, self.out_features)
+
+    @property
+    def rows_per_example(self) -> int:
+        return 1
+
+    @property
+    def macs_per_example(self) -> int:
+        return self.steps * self.in_features * self.out_features
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        """Element-wise work beyond the fused post-matmul activation."""
+        return 0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if self.steps > 1:
+            if len(input_shape) == 2 and input_shape == (self.steps, self.in_features):
+                return (self.steps, self.out_features)
+            raise ValueError(
+                f"{self.name}: recurrent FC expects ({self.steps}, "
+                f"{self.in_features}), got {input_shape}"
+            )
+        if len(input_shape) > 1 and math.prod(input_shape) == self.in_features:
+            return (self.out_features,)  # implicit flatten after conv/pool
+        if input_shape[-1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got shape {input_shape}"
+            )
+        return input_shape[:-1] + (self.out_features,)
+
+
+@dataclass(frozen=True)
+class Conv2D:
+    """A 2-D convolution lowered to the MXU via im2col.
+
+    The matrix view maps the flattened receptive field (kernel x kernel x
+    in_channels) to the MXU rows and out_channels to its columns -- the
+    C-to-rows / M-to-columns mapping the paper describes in Eyeriss terms.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_hw: tuple[int, int]
+    stride: int = 1
+    activation: Activation = Activation.RELU
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            in_channels=self.in_channels,
+            out_channels=self.out_channels,
+            kernel=self.kernel,
+            stride=self.stride,
+        )
+        _require_positive(input_h=self.input_hw[0], input_w=self.input_hw[1])
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV
+
+    @property
+    def steps(self) -> int:
+        return 1
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        """'Same' padding: output spatial dims are ceil(input / stride)."""
+        return (
+            math.ceil(self.input_hw[0] / self.stride),
+            math.ceil(self.input_hw[1] / self.stride),
+        )
+
+    @property
+    def weight_count(self) -> int:
+        return self.kernel * self.kernel * self.in_channels * self.out_channels
+
+    @property
+    def matmul_shape(self) -> tuple[int, int]:
+        return (self.kernel * self.kernel * self.in_channels, self.out_channels)
+
+    @property
+    def rows_per_example(self) -> int:
+        oh, ow = self.out_hw
+        return oh * ow
+
+    @property
+    def macs_per_example(self) -> int:
+        k, n = self.matmul_shape
+        return self.rows_per_example * k * n
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        return 0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3 or input_shape[2] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (H, W, {self.in_channels}), got {input_shape}"
+            )
+        if (input_shape[0], input_shape[1]) != self.input_hw:
+            raise ValueError(
+                f"{self.name}: expected spatial dims {self.input_hw}, "
+                f"got {input_shape[:2]}"
+            )
+        oh, ow = self.out_hw
+        return (oh, ow, self.out_channels)
+
+
+@dataclass(frozen=True)
+class LSTMCell:
+    """A single LSTM layer run for ``steps`` time steps.
+
+    Functionally this is the standard cell: a fused gate matmul of the
+    concatenated (input, hidden) vector against a (x + h, 4h) matrix, then
+    sigmoid/tanh gating.  For cost purposes the fused gate matrix is the
+    weight tile the MXU must reload *every time step* (weights never fit
+    on chip), which is why LSTM operational intensity equals the batch
+    size in Table 1.
+    """
+
+    name: str
+    input_size: int
+    hidden_size: int
+    steps: int
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            input_size=self.input_size, hidden_size=self.hidden_size, steps=self.steps
+        )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LSTM
+
+    @property
+    def activation(self) -> Activation:
+        return Activation.NONE  # gating is handled by the vector path
+
+    @property
+    def weight_count(self) -> int:
+        return (self.input_size + self.hidden_size) * 4 * self.hidden_size
+
+    @property
+    def matmul_shape(self) -> tuple[int, int]:
+        return (self.input_size + self.hidden_size, 4 * self.hidden_size)
+
+    @property
+    def rows_per_example(self) -> int:
+        return 1  # one gate row per example per time step
+
+    @property
+    def macs_per_example(self) -> int:
+        k, n = self.matmul_shape
+        return self.steps * k * n
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        # Per step: 3 sigmoids + 2 tanh on h-wide vectors, 3 multiplies,
+        # 1 add -> 9 h-wide element-wise passes.
+        return self.steps * 9 * self.hidden_size
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 2 or input_shape[1] != self.input_size:
+            raise ValueError(
+                f"{self.name}: expected (T, {self.input_size}), got {input_shape}"
+            )
+        if input_shape[0] != self.steps:
+            raise ValueError(
+                f"{self.name}: expected {self.steps} time steps, got {input_shape[0]}"
+            )
+        return (self.steps, self.hidden_size)
+
+
+@dataclass(frozen=True)
+class VectorOp:
+    """A weightless element-wise layer (sigmoid/tanh/relu/scale/add)."""
+
+    name: str
+    op: Activation = Activation.TANH
+    steps: int = 1
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.VECTOR
+
+    @property
+    def activation(self) -> Activation:
+        return self.op
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+    @property
+    def matmul_shape(self) -> None:
+        return None
+
+    @property
+    def rows_per_example(self) -> int:
+        return 0
+
+    @property
+    def macs_per_example(self) -> int:
+        return 0
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        # Resolved against the incoming shape at compile time; this field
+        # reports per-step passes so Model.totals can scale by shape.
+        return 0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return input_shape
+
+
+@dataclass(frozen=True)
+class Pooling:
+    """Max pooling, executed by the TPU's dedicated pooling hardware."""
+
+    name: str
+    window: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        _require_positive(window=self.window, stride=self.stride)
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POOL
+
+    @property
+    def activation(self) -> Activation:
+        return Activation.NONE
+
+    @property
+    def steps(self) -> int:
+        return 1
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+    @property
+    def matmul_shape(self) -> None:
+        return None
+
+    @property
+    def rows_per_example(self) -> int:
+        return 0
+
+    @property
+    def macs_per_example(self) -> int:
+        return 0
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        return 0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: pooling expects (H, W, C), got {input_shape}")
+        h, w, c = input_shape
+        return (math.ceil(h / self.stride), math.ceil(w / self.stride), c)
+
+
+Layer = Union[FullyConnected, Conv2D, LSTMCell, VectorOp, Pooling]

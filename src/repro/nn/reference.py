@@ -1,0 +1,327 @@
+"""Reference execution: float32 ground truth and the quantized contract.
+
+``ReferenceExecutor`` runs a :class:`~repro.nn.graph.Model` two ways:
+
+* ``run_float`` -- plain float32 numpy, the "training-time" semantics;
+* ``run_quantized`` -- the exact int8 pipeline the TPU device performs
+  (integer matmul, int32 accumulation, shared requantization), so the
+  device's functional output can be asserted *equal*, not just close.
+
+The module also provides deterministic weight initialization and input
+generation so every experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Model
+from repro.nn.layers import (
+    Activation,
+    Conv2D,
+    FullyConnected,
+    Layer,
+    LSTMCell,
+    Pooling,
+    VectorOp,
+)
+from repro.nn.quantization import (
+    QuantizedTensor,
+    TensorScale,
+    apply_activation,
+    choose_scale,
+    dequantize,
+    quantize,
+    quantized_matmul,
+    requantize,
+)
+
+
+# ---------------------------------------------------------------------------
+# deterministic parameters and inputs
+# ---------------------------------------------------------------------------
+def initialize_weights(model: Model, seed: int = 0) -> dict[str, np.ndarray]:
+    """Xavier-scaled Gaussian weights for every parametric layer."""
+    rng = np.random.default_rng(seed)
+    weights: dict[str, np.ndarray] = {}
+    for layer in model.layers:
+        shape = layer.matmul_shape
+        if shape is None:
+            continue
+        k, n = shape
+        std = math.sqrt(2.0 / (k + n))
+        weights[layer.name] = rng.normal(0.0, std, size=(k, n)).astype(np.float32)
+    return weights
+
+
+def random_input(model: Model, batch_size: int | None = None, seed: int = 1) -> np.ndarray:
+    """A deterministic input batch shaped (B, *model.input_shape)."""
+    rng = np.random.default_rng(seed)
+    batch = model.batch_size if batch_size is None else batch_size
+    shape = (batch,) + model.input_shape
+    return rng.normal(0.0, 1.0, size=shape).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# shared spatial helpers (used by both float and quantized paths)
+# ---------------------------------------------------------------------------
+def im2col(x: np.ndarray, kernel: int, stride: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """Flatten 'same'-padded receptive fields into matmul rows.
+
+    x has shape (B, H, W, C); the result has shape (B*OH*OW, k*k*C) with
+    rows ordered batch-major then row-major over output positions --
+    exactly the layout the compiler assumes when tiling convolutions.
+    """
+    b, h, w, c = x.shape
+    oh, ow = math.ceil(h / stride), math.ceil(w / stride)
+    pad_h = max((oh - 1) * stride + kernel - h, 0)
+    pad_w = max((ow - 1) * stride + kernel - w, 0)
+    top, left = pad_h // 2, pad_w // 2
+    padded = np.pad(
+        x, ((0, 0), (top, pad_h - top), (left, pad_w - left), (0, 0)), mode="constant"
+    )
+    cols = np.empty((b, oh, ow, kernel * kernel * c), dtype=x.dtype)
+    patch = 0
+    for di in range(kernel):
+        for dj in range(kernel):
+            window = padded[
+                :, di : di + oh * stride : stride, dj : dj + ow * stride : stride, :
+            ]
+            cols[..., patch * c : (patch + 1) * c] = window
+            patch += 1
+    return cols.reshape(b * oh * ow, kernel * kernel * c), (oh, ow)
+
+
+def max_pool(x: np.ndarray, window: int, stride: int) -> np.ndarray:
+    """Max pooling with 'same' (ceil) semantics on (B, H, W, C) tensors."""
+    b, h, w, c = x.shape
+    oh, ow = math.ceil(h / stride), math.ceil(w / stride)
+    pad_h = max((oh - 1) * stride + window - h, 0)
+    pad_w = max((ow - 1) * stride + window - w, 0)
+    if np.issubdtype(x.dtype, np.integer):
+        fill = np.iinfo(x.dtype).min
+    else:
+        fill = -np.inf
+    padded = np.pad(
+        x,
+        ((0, 0), (0, pad_h), (0, pad_w), (0, 0)),
+        mode="constant",
+        constant_values=fill,
+    )
+    out = np.full((b, oh, ow, c), fill, dtype=x.dtype)
+    for di in range(window):
+        for dj in range(window):
+            candidate = padded[
+                :, di : di + oh * stride : stride, dj : dj + ow * stride : stride, :
+            ]
+            out = np.maximum(out, candidate)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# quantization parameters for a whole model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuantizedParams:
+    """Everything needed to run a model in the integer domain.
+
+    ``output_scales[i]`` is the symmetric scale of layer i's int8 output;
+    the model input uses ``input_scale``.  Scale chaining is positional:
+    layer i consumes the codes produced at scale ``output_scales[i-1]``.
+    """
+
+    input_scale: TensorScale
+    weights: dict[str, QuantizedTensor]
+    output_scales: tuple[TensorScale, ...]
+
+
+class ReferenceExecutor:
+    """Executes a model in float32 or the TPU's exact integer pipeline."""
+
+    def __init__(self, model: Model, weights: dict[str, np.ndarray] | None = None) -> None:
+        self.model = model
+        self.weights = initialize_weights(model) if weights is None else dict(weights)
+        missing = [
+            layer.name
+            for layer in model.layers
+            if layer.matmul_shape is not None and layer.name not in self.weights
+        ]
+        if missing:
+            raise ValueError(f"missing weights for layers: {missing}")
+
+    # -- float path --------------------------------------------------------
+    def run_float(
+        self, x: np.ndarray, return_intermediates: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, list[np.ndarray]]:
+        outputs: list[np.ndarray] = []
+        current = np.asarray(x, dtype=np.float64)
+        for idx, layer in enumerate(self.model.layers):
+            current = self._layer_float(layer, current)
+            src = self.model.residual_sources.get(idx)
+            if src is not None:
+                skip = np.asarray(x, dtype=np.float64) if src == -1 else outputs[src]
+                current = current + skip
+            outputs.append(current)
+        if return_intermediates:
+            return current, outputs
+        return current
+
+    def _layer_float(self, layer: Layer, x: np.ndarray) -> np.ndarray:
+        if isinstance(layer, FullyConnected):
+            return self._fc_float(layer, x)
+        if isinstance(layer, Conv2D):
+            cols, (oh, ow) = im2col(x, layer.kernel, layer.stride)
+            acc = cols @ np.asarray(self.weights[layer.name], dtype=np.float64)
+            out = apply_activation(acc, layer.activation)
+            return out.reshape(x.shape[0], oh, ow, layer.out_channels)
+        if isinstance(layer, LSTMCell):
+            return self._lstm_float(layer, x)
+        if isinstance(layer, VectorOp):
+            return apply_activation(x, layer.op)
+        if isinstance(layer, Pooling):
+            return max_pool(x, layer.window, layer.stride)
+        raise TypeError(f"unknown layer type: {type(layer)!r}")
+
+    def _fc_float(self, layer: FullyConnected, x: np.ndarray) -> np.ndarray:
+        w = np.asarray(self.weights[layer.name], dtype=np.float64)
+        batch = x.shape[0]
+        if layer.steps > 1:
+            acc = x @ w  # (B, T, out): weights shared across steps
+        else:
+            flat = x.reshape(batch, -1)
+            acc = flat @ w
+        return apply_activation(acc, layer.activation)
+
+    def _lstm_float(self, layer: LSTMCell, x: np.ndarray) -> np.ndarray:
+        w = np.asarray(self.weights[layer.name], dtype=np.float64)
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, layer.hidden_size))
+        c = np.zeros((batch, layer.hidden_size))
+        outputs = []
+        for t in range(steps):
+            z = np.concatenate([x[:, t, :], h], axis=1) @ w
+            gi, gf, gg, go = np.split(z, 4, axis=1)
+            gi = apply_activation(gi, Activation.SIGMOID)
+            gf = apply_activation(gf, Activation.SIGMOID)
+            gg = apply_activation(gg, Activation.TANH)
+            go = apply_activation(go, Activation.SIGMOID)
+            c = gf * c + gi * gg
+            h = go * np.tanh(c)
+            outputs.append(h)
+        return np.stack(outputs, axis=1)
+
+    # -- quantization calibration -------------------------------------------
+    def calibrate(self, x: np.ndarray, bits: int = 8) -> QuantizedParams:
+        """Choose per-tensor scales from a float32 calibration run."""
+        _, intermediates = self.run_float(x, return_intermediates=True)
+        weights = {
+            name: QuantizedTensor(
+                quantize(w, choose_scale(np.asarray(w), bits)),
+                choose_scale(np.asarray(w), bits),
+            )
+            for name, w in self.weights.items()
+        }
+        output_scales = tuple(choose_scale(out, bits) for out in intermediates)
+        return QuantizedParams(
+            input_scale=choose_scale(np.asarray(x), bits),
+            weights=weights,
+            output_scales=output_scales,
+        )
+
+    # -- quantized path (the TPU functional contract) ------------------------
+    def run_quantized(
+        self,
+        x: np.ndarray,
+        params: QuantizedParams,
+        return_intermediates: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, list[np.ndarray]]:
+        """Integer-domain execution mirroring the TPU device bit for bit."""
+        input_codes = quantize(np.asarray(x, dtype=np.float64), params.input_scale)
+        outputs: list[np.ndarray] = []
+        current = input_codes
+        current_scale = params.input_scale
+        for idx, layer in enumerate(self.model.layers):
+            out_scale = params.output_scales[idx]
+            current = self._layer_quantized(layer, current, current_scale, out_scale, params)
+            src = self.model.residual_sources.get(idx)
+            if src is not None:
+                skip = input_codes if src == -1 else outputs[src]
+                skip_scale = params.input_scale if src == -1 else params.output_scales[src]
+                real = dequantize(current, out_scale) + dequantize(skip, skip_scale)
+                current = quantize(real, out_scale)
+            outputs.append(current)
+            current_scale = out_scale
+        if return_intermediates:
+            return current, outputs
+        return current
+
+    def _layer_quantized(
+        self,
+        layer: Layer,
+        x: np.ndarray,
+        in_scale: TensorScale,
+        out_scale: TensorScale,
+        params: QuantizedParams,
+    ) -> np.ndarray:
+        if isinstance(layer, FullyConnected):
+            wq = params.weights[layer.name]
+            batch = x.shape[0]
+            if layer.steps > 1:
+                acc = quantized_matmul(x.reshape(-1, x.shape[-1]), wq.data)
+                acc = acc.reshape(batch, layer.steps, layer.out_features)
+            else:
+                acc = quantized_matmul(x.reshape(batch, -1), wq.data)
+            return requantize(acc, in_scale, wq.scale, out_scale, layer.activation)
+        if isinstance(layer, Conv2D):
+            wq = params.weights[layer.name]
+            cols, (oh, ow) = im2col(x, layer.kernel, layer.stride)
+            acc = quantized_matmul(cols, wq.data)
+            codes = requantize(acc, in_scale, wq.scale, out_scale, layer.activation)
+            return codes.reshape(x.shape[0], oh, ow, layer.out_channels)
+        if isinstance(layer, LSTMCell):
+            return self._lstm_quantized(layer, x, in_scale, out_scale, params)
+        if isinstance(layer, VectorOp):
+            real = apply_activation(dequantize(x, in_scale), layer.op)
+            return quantize(real, out_scale)
+        if isinstance(layer, Pooling):
+            if in_scale != out_scale:
+                # Max pooling is scale-preserving on the TPU; re-code only
+                # if calibration chose a different output scale.
+                real = dequantize(max_pool(x, layer.window, layer.stride), in_scale)
+                return quantize(real, out_scale)
+            return max_pool(x, layer.window, layer.stride)
+        raise TypeError(f"unknown layer type: {type(layer)!r}")
+
+    def _lstm_quantized(
+        self,
+        layer: LSTMCell,
+        x: np.ndarray,
+        in_scale: TensorScale,
+        out_scale: TensorScale,
+        params: QuantizedParams,
+    ) -> np.ndarray:
+        """Quantized LSTM: int8 gate matmuls, float cell state in the
+        vector unit, hidden state requantized to the input scale so it can
+        be concatenated with the next step's input codes."""
+        wq = params.weights[layer.name]
+        batch, steps, _ = x.shape
+        h_codes = np.zeros((batch, layer.hidden_size), dtype=x.dtype)
+        c_real = np.zeros((batch, layer.hidden_size))
+        step_outputs = []
+        for t in range(steps):
+            z_codes = np.concatenate([x[:, t, :], h_codes], axis=1)
+            acc = quantized_matmul(z_codes, wq.data)
+            gates = acc.astype(np.float64) * (in_scale.scale * wq.scale.scale)
+            gi, gf, gg, go = np.split(gates, 4, axis=1)
+            gi = apply_activation(gi, Activation.SIGMOID)
+            gf = apply_activation(gf, Activation.SIGMOID)
+            gg = apply_activation(gg, Activation.TANH)
+            go = apply_activation(go, Activation.SIGMOID)
+            c_real = gf * c_real + gi * gg
+            h_real = go * np.tanh(c_real)
+            h_codes = quantize(h_real, in_scale)
+            step_outputs.append(quantize(h_real, out_scale))
+        return np.stack(step_outputs, axis=1)

@@ -1,0 +1,25 @@
+"""The Section 7 analytical TPU performance model.
+
+The paper built a performance model, validated it against the hardware
+counters (Table 7, <10% average difference), then swept memory bandwidth,
+clock rate (with and without more accumulators), and matrix-unit size
+(Figure 11), leading to the TPU' (GDDR5) hypothetical.  This package does
+the same, validating against our cycle-level simulator instead of silicon.
+"""
+
+from repro.perfmodel.model import AppCost, LayerCost, app_cost, tpu_seconds
+from repro.perfmodel.scaling import SCALE_KNOBS, scaling_sweep
+from repro.perfmodel.tpu_prime import TPUPrimeStudy, tpu_prime_study
+from repro.perfmodel.validation import validate_against_simulator
+
+__all__ = [
+    "AppCost",
+    "LayerCost",
+    "SCALE_KNOBS",
+    "TPUPrimeStudy",
+    "app_cost",
+    "scaling_sweep",
+    "tpu_prime_study",
+    "tpu_seconds",
+    "validate_against_simulator",
+]

@@ -1,0 +1,46 @@
+"""Table 7: validating the analytical model against the simulator.
+
+The paper validated its performance model against the TPU's hardware
+counters (average difference ~8%).  We do not have the silicon, so the
+reference is our cycle-level simulator: the model must track the
+simulator the way the paper's model tracked the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.driver import TPUDriver
+from repro.core.config import TPUConfig, TPU_V1
+from repro.nn.graph import Model
+from repro.perfmodel.model import tpu_seconds
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    model_name: str
+    simulator_cycles: float
+    model_cycles: float
+
+    @property
+    def difference(self) -> float:
+        """|model - simulator| / simulator, the Table 7 metric."""
+        return abs(self.model_cycles - self.simulator_cycles) / self.simulator_cycles
+
+
+def validate_against_simulator(
+    models: dict[str, Model], config: TPUConfig = TPU_V1
+) -> dict[str, ValidationRow]:
+    """Per-app cycle difference between model and simulator."""
+    driver = TPUDriver(config)
+    rows = {}
+    for name, model in models.items():
+        compiled = driver.compile(model)
+        sim = driver.profile(compiled)
+        modelled = tpu_seconds(model, config) * config.clock_hz
+        rows[name] = ValidationRow(
+            model_name=name,
+            simulator_cycles=sim.cycles,
+            model_cycles=modelled,
+        )
+    return rows

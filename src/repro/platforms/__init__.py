@@ -1,0 +1,43 @@
+"""The three benchmark platforms of Table 2.
+
+The Haswell CPU and K80 GPU are analytical models (roofline attainment
+with calibrated efficiencies, plus latency-bounded batching); the TPU
+platform wraps the cycle-level simulator of :mod:`repro.core`.  All three
+expose the same :class:`~repro.platforms.base.Platform` interface so the
+analysis harness can sweep them uniformly.
+"""
+
+from repro.platforms.base import Platform, ServingPoint
+from repro.platforms.cpu import HaswellPlatform
+from repro.platforms.gpu import K80Platform
+from repro.platforms.specs import (
+    CHIPS,
+    SERVERS,
+    ChipSpec,
+    ServerSpec,
+    HASWELL_CHIP,
+    HASWELL_SERVER,
+    K80_CHIP,
+    K80_SERVER,
+    TPU_CHIP,
+    TPU_SERVER,
+)
+from repro.platforms.tpu import TPUPlatform
+
+__all__ = [
+    "CHIPS",
+    "ChipSpec",
+    "HASWELL_CHIP",
+    "HASWELL_SERVER",
+    "HaswellPlatform",
+    "K80Platform",
+    "K80_CHIP",
+    "K80_SERVER",
+    "Platform",
+    "SERVERS",
+    "ServerSpec",
+    "ServingPoint",
+    "TPUPlatform",
+    "TPU_CHIP",
+    "TPU_SERVER",
+]

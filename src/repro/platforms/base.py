@@ -1,0 +1,172 @@
+"""The common platform interface and the analytical serving model.
+
+Mechanics shared by all three platforms:
+
+* **Operational intensity** -- MACs per byte of weights read per batch
+  (Table 1's convention).  CPU/GPU read fp32 weights, so their intensity
+  is a quarter of the TPU's at the same batch.
+* **Roofline attainment** -- achievable ops/s is the roofline value at
+  the app's intensity, times a per-application efficiency that stands in
+  for the measured production software stack (documented per platform).
+* **Latency-bounded batching** -- interactive apps must meet a p99 SLA,
+  so the serving batch is the largest one whose response time fits; this
+  is the Table 4 mechanism that starves the CPU and GPU of batch size.
+
+The p99-vs-service-time factor (:data:`P99_SERVICE_FACTOR`) encodes the
+queueing+collection inflation observed in Table 4 (CPU batch 16 runs at a
+p99 of 7.2 ms on a 2.9 ms service time); the discrete-event simulator in
+:mod:`repro.latency` validates it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.nn.graph import Model
+from repro.platforms.specs import ChipSpec, ServerSpec
+
+#: p99 response time ~= factor * batch service time at sustainable load
+#: (batch collection + queueing + service; validated in repro.latency).
+#: Per-platform values are calibrated from Table 4's published pairs:
+#: CPU batch 16 runs 7.2 ms p99 on a 2.9 ms service (x2.4); the
+#: accelerators add a host hop, inflating the ratio (GPU 6.7/1.4 ~ x4.5,
+#: TPU 7.0/1.6 ~ x4.3).
+DEFAULT_P99_FACTOR = 2.5
+
+#: Candidate serving batch sizes.
+BATCH_CANDIDATES = (1, 2, 4, 8, 16, 32, 64, 96, 128, 200, 250, 256, 512, 1024)
+
+#: Per-application p99 response-time limits (seconds).  The paper states
+#: 7 ms for MLP0 (Table 4) and LSTM1 (Section 8); the other interactive
+#: apps get the same bound, while the CNNs (vision/game pipelines) are
+#: modelled with looser budgets.
+SLA_SECONDS: dict[str, float] = {
+    "mlp0": 7e-3,
+    "mlp1": 7e-3,
+    "lstm0": 7e-3,
+    "lstm1": 7e-3,
+    "cnn0": 50e-3,
+    "cnn1": 100e-3,
+}
+DEFAULT_SLA = 7e-3
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """A platform serving an app at its latency-bounded batch size."""
+
+    platform: str
+    model_name: str
+    batch: int
+    service_seconds: float
+    ips: float
+    intensity: float
+    achieved_ops: float  # ops/s actually delivered (2 ops per MAC)
+    p99_estimate: float
+
+
+class Platform(abc.ABC):
+    """One of the three Table 2 platforms."""
+
+    name: str
+    kind: str  # "cpu" | "gpu" | "tpu"
+    chip: ChipSpec
+    server: ServerSpec
+    p99_factor: float = DEFAULT_P99_FACTOR
+
+    # -- roofline ---------------------------------------------------------
+    def intensity(self, model: Model, batch: int | None = None) -> float:
+        """MACs per weight byte at the given (or native) batch size."""
+        batch = model.batch_size if batch is None else batch
+        weight_bytes = model.weight_bytes_per_batch(self.chip.weight_dtype_bytes)
+        return model.macs_per_example * batch / weight_bytes
+
+    def attainable_ops(self, intensity: float) -> float:
+        """The roofline ceiling at an operational intensity."""
+        if intensity <= 0:
+            raise ValueError(f"intensity must be positive, got {intensity}")
+        return min(self.chip.peak_ops, 2.0 * intensity * self.chip.bandwidth)
+
+    # -- serving ------------------------------------------------------------
+    @abc.abstractmethod
+    def service_seconds(self, model: Model, batch: int) -> float:
+        """Time to serve one batch (including this platform's host share)."""
+
+    def throughput_ips(self, model: Model, batch: int) -> float:
+        """User-visible inferences per second (steps for sequence apps)."""
+        steps = model.steps_per_example
+        return batch * steps / self.service_seconds(model, batch)
+
+    def sla_for(self, model: Model) -> float:
+        return SLA_SECONDS.get(model.name, DEFAULT_SLA)
+
+    def step_service_seconds(self, model: Model, batch: int) -> float:
+        """Per-inference-step service time (what the SLA constrains)."""
+        return self.service_seconds(model, batch) / model.steps_per_example
+
+    def latency_bounded_batch(self, model: Model, sla: float | None = None) -> int:
+        """The serving batch under the response-time limit.
+
+        Among batches whose estimated p99 fits the SLA, pick the one with
+        the highest throughput.  When *no* batch fits (the paper's CPU
+        LSTMs), the service still has to run: serve at the batch that
+        minimizes p99, breaking ties toward throughput.
+        """
+        sla = self.sla_for(model) if sla is None else sla
+        points = []
+        for batch in BATCH_CANDIDATES:
+            p99 = self.p99_factor * self.step_service_seconds(model, batch)
+            points.append((batch, p99, self.throughput_ips(model, batch)))
+        feasible = [p for p in points if p[1] <= sla]
+        if feasible:
+            return max(feasible, key=lambda p: (p[2], p[0]))[0]
+        best_p99 = min(p[1] for p in points)
+        near = [p for p in points if p[1] <= best_p99 * 1.02]
+        return max(near, key=lambda p: (p[2], p[0]))[0]
+
+    def serving_point(self, model: Model, batch: int | None = None) -> ServingPoint:
+        """The platform's operating point for Table 6 / Figures 5-8."""
+        batch = self.latency_bounded_batch(model) if batch is None else batch
+        service = self.service_seconds(model, batch)
+        ips = self.throughput_ips(model, batch)
+        return ServingPoint(
+            platform=self.name,
+            model_name=model.name,
+            batch=batch,
+            service_seconds=service,
+            ips=ips,
+            intensity=self.intensity(model, batch),
+            achieved_ops=2.0 * model.macs_per_example * batch / service,
+            p99_estimate=self.p99_factor * self.step_service_seconds(model, batch),
+        )
+
+
+class AnalyticalPlatform(Platform):
+    """Roofline + efficiency + overhead model (the CPU and GPU).
+
+    ``efficiency[app]`` is the fraction of the roofline the measured
+    production stack attains; ``batch_overhead_s`` is the fixed per-batch
+    software cost.  Efficiencies are calibration constants documented in
+    each subclass -- we do not have Google's production binaries, so the
+    *mechanisms* (roofline, latency-bounded batch) are modelled and the
+    per-app attainment is taken as an input.
+    """
+
+    efficiency: dict[str, float]
+    default_efficiency: float
+    batch_overhead_s: float
+    per_example_host_s: float
+
+    def app_efficiency(self, model: Model) -> float:
+        return self.efficiency.get(model.name, self.default_efficiency)
+
+    def achieved_ops(self, model: Model, batch: int) -> float:
+        return self.app_efficiency(model) * self.attainable_ops(self.intensity(model, batch))
+
+    def service_seconds(self, model: Model, batch: int) -> float:
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        compute = 2.0 * model.macs_per_example * batch / self.achieved_ops(model, batch)
+        host = self.batch_overhead_s + self.per_example_host_s * batch
+        return compute + host

@@ -1,0 +1,70 @@
+"""The NVIDIA K80 comparison platform (per die, Boost disabled).
+
+Roofline: 2.8 TFLOPS fp32 and 160 GB/s per die (SECDED on, Boost off,
+Section 3), ridge ~9 MACs/weight-byte.  The K80 is a throughput design;
+its per-app attainment constants reflect the paper's observation that
+latency-bounded inference underutilizes it badly -- especially the
+LSTMs, whose step-to-step serialization leaves the SMX array idle.
+
+``boost_mode`` raises the clock 560 -> 875 MHz (x1.5625 peak).  Section
+8 measured +40% performance and +30% power on LSTM1 for a net 1.1x
+performance/Watt -- the fallacy bench reproduces that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.platforms.base import AnalyticalPlatform
+from repro.platforms.specs import K80_CHIP, K80_SERVER
+
+BOOST_CLOCK_MHZ = 875.0
+#: Measured effects of Boost on LSTM1 (Section 8): the clock rises
+#: 1.5625x but delivered performance only 1.4x (memory effects), while
+#: board power rises 1.3x.
+BOOST_PERF_FACTOR = 1.4
+BOOST_POWER_FACTOR = 1.3
+
+
+class K80Platform(AnalyticalPlatform):
+    """One K80 die of the 4-card, 8-die benchmark server."""
+
+    name = "K80"
+    kind = "gpu"
+    chip = K80_CHIP
+    server = K80_SERVER
+
+    #: Fraction of the roofline attained per app.  MLP0 anchors to Table
+    #: 4 (13,461 IPS at batch 16 -> 0.47 of bandwidth); the others encode
+    #: the measured stack's relative attainment.  cnn0 > 1 models cuDNN's
+    #: algorithmic convolution speedups (Winograd-style transforms beat
+    #: the direct-convolution MAC count the roofline assumes).
+    efficiency = {
+        "mlp0": 0.47,
+        "mlp1": 0.10,  # tiny layers: launch-bound kernels
+        "lstm0": 0.15,  # sequence serialization starves the SMXs
+        "lstm1": 0.35,
+        "cnn0": 1.21,
+        "cnn1": 0.39,
+    }
+    default_efficiency = 0.40
+    #: Kernel launch + PCIe transfer cost per batch.
+    batch_overhead_s = 400e-6
+    per_example_host_s = 1.0e-6
+    #: Table 4 calibration: p99 6.7 ms on a ~1.4 ms service at batch 16.
+    p99_factor = 4.5
+
+    def __init__(self, boost_mode: bool = False) -> None:
+        self.boost_mode = boost_mode
+        if boost_mode:
+            self.chip = replace(
+                K80_CHIP,
+                clock_mhz=BOOST_CLOCK_MHZ,
+                busy_w=K80_CHIP.busy_w * BOOST_POWER_FACTOR,
+                peak_tflops=K80_CHIP.peak_tflops * BOOST_PERF_FACTOR,
+                bandwidth_gbs=K80_CHIP.bandwidth_gbs * BOOST_PERF_FACTOR,
+            )
+
+    @property
+    def busy_power_w(self) -> float:
+        return self.chip.busy_w

@@ -1,0 +1,63 @@
+"""The TPU die floorplan (Figure 2).
+
+Figure 2's shading: data buffers are 37% of the die, compute 30%, I/O
+10%, and control just 2% -- minimalism as a virtue of domain-specific
+processors (a CPU or GPU spends far more on control).  The block list
+below reconstructs those shares from the named units of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.tables import TextTable
+
+#: Upper bound on the undisclosed die size: "<= half the Haswell die".
+ESTIMATED_DIE_MM2 = 331.0
+
+
+@dataclass(frozen=True)
+class FloorplanBlock:
+    name: str
+    category: str  # buffers | compute | io | control | other
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction < 1:
+            raise ValueError(f"fraction must be in (0, 1), got {self.fraction}")
+
+
+FLOORPLAN_BLOCKS: tuple[FloorplanBlock, ...] = (
+    FloorplanBlock("Unified Buffer (24 MiB)", "buffers", 0.29),
+    FloorplanBlock("Accumulators (4 MiB)", "buffers", 0.06),
+    FloorplanBlock("Weight FIFO", "buffers", 0.02),
+    FloorplanBlock("Matrix Multiply Unit (64K MACs)", "compute", 0.24),
+    FloorplanBlock("Activation / pooling pipeline", "compute", 0.04),
+    FloorplanBlock("Systolic data setup", "compute", 0.02),
+    FloorplanBlock("PCIe Gen3 x16 + host interface", "io", 0.06),
+    FloorplanBlock("DDR3 Weight Memory interfaces", "io", 0.04),
+    FloorplanBlock("Control", "control", 0.02),
+    FloorplanBlock("Clocking, pads, spares", "other", 0.21),
+)
+
+
+def category_shares() -> dict[str, float]:
+    shares: dict[str, float] = {}
+    for block in FLOORPLAN_BLOCKS:
+        shares[block.category] = shares.get(block.category, 0.0) + block.fraction
+    return shares
+
+
+def die_table(die_mm2: float = ESTIMATED_DIE_MM2) -> TextTable:
+    """Figure 2 as a table: block, category, share, estimated area."""
+    table = TextTable(
+        ["Block", "Category", "Share", "mm^2 (est.)"],
+        title=f"TPU die floorplan (die estimated at {die_mm2:.0f} mm^2)",
+    )
+    for block in FLOORPLAN_BLOCKS:
+        table.add_row(
+            [block.name, block.category, f"{block.fraction:.0%}", die_mm2 * block.fraction]
+        )
+    for category, share in category_shares().items():
+        table.add_row([f"-- total {category}", category, f"{share:.0%}", die_mm2 * share])
+    return table

@@ -1,0 +1,140 @@
+"""Energy proportionality (Section 6, Figure 10).
+
+[Bar07]'s ideal server consumes power proportional to load; none of the
+three chips achieves it.  We model each platform's utilization->power
+curve as ``P(u) = idle + (busy - idle) * u^alpha`` with alpha calibrated
+from the paper's published 10%-load ratios: running CNN0, the TPU burns
+88% of its full-load power at 10% load, the K80 66%, Haswell 56% (and
+94/78/47% for LSTM1).  The short TPU design schedule left out
+energy-saving features, hence its dismal alpha.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.platforms.specs import SERVERS
+
+
+@dataclass(frozen=True)
+class PowerCurve:
+    """A utilization -> Watts curve for one die (or one server)."""
+
+    name: str
+    idle_w: float
+    busy_w: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.busy_w < self.idle_w:
+            raise ValueError("busy power below idle power")
+
+    def watts(self, utilization: float) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        return self.idle_w + (self.busy_w - self.idle_w) * utilization**self.alpha
+
+    def ratio_at(self, utilization: float) -> float:
+        """P(u) / P(1), the proportionality metric the paper quotes."""
+        return self.watts(utilization) / self.watts(1.0)
+
+
+def calibrate_alpha(idle_w: float, busy_w: float, ratio_at_10pct: float) -> float:
+    """Solve for alpha from the published P(0.1)/P(1.0) ratio."""
+    if not idle_w < busy_w:
+        raise ValueError("need idle < busy to calibrate")
+    target = ratio_at_10pct * busy_w
+    if not idle_w < target <= busy_w:
+        raise ValueError(
+            f"ratio {ratio_at_10pct} implies {target} W, outside ({idle_w}, {busy_w}]"
+        )
+    fraction = (target - idle_w) / (busy_w - idle_w)
+    return math.log(fraction) / math.log(0.1)
+
+
+#: Published 10%-load power ratios per (platform, app) -- Section 6.
+RATIO_AT_10PCT = {
+    ("cpu", "cnn0"): 0.56,
+    ("gpu", "cnn0"): 0.66,
+    ("tpu", "cnn0"): 0.88,
+    ("cpu", "lstm1"): 0.47,
+    ("gpu", "lstm1"): 0.78,
+    ("tpu", "lstm1"): 0.94,
+}
+
+#: Host-server power when its accelerators run flat out (Section 6):
+#: 52% of full server power hosting GPUs, 69% hosting TPUs (the TPU
+#: host works harder because the TPU is so much faster).
+HOST_FRACTION_AT_FULL = {"gpu": 0.52, "tpu": 0.69}
+
+
+def _chip_powers(kind: str) -> tuple[float, float]:
+    chip = SERVERS[kind].chip
+    return chip.idle_w, chip.busy_w
+
+
+def platform_curve(kind: str, app: str) -> PowerCurve:
+    """The die-level power curve for a platform running an app."""
+    idle, busy = _chip_powers(kind)
+    ratio = RATIO_AT_10PCT.get((kind, app))
+    if ratio is None:
+        # Interpolate: default to the CNN0 (compute-bound) calibration.
+        ratio = RATIO_AT_10PCT[(kind, "cnn0")]
+    return PowerCurve(
+        name=f"{kind}/{app}", idle_w=idle, busy_w=busy, alpha=calibrate_alpha(idle, busy, ratio)
+    )
+
+
+PLATFORM_CURVES = {
+    key: platform_curve(kind, app) for key in RATIO_AT_10PCT for kind, app in [key]
+}
+
+
+def host_share_watts(kind: str, utilization: float, app: str = "cnn0") -> float:
+    """Host-server Watts attributable while an accelerator runs at ``u``.
+
+    The host tracks the accelerator's load up to its measured full-load
+    fraction (52% GPU / 69% TPU of the Haswell server's busy power).
+    """
+    server = SERVERS["cpu"]
+    target = HOST_FRACTION_AT_FULL[kind] * server.busy_w
+    curve = PowerCurve(
+        name=f"host-of-{kind}",
+        idle_w=server.idle_w,
+        busy_w=target,
+        alpha=platform_curve("cpu", app).alpha,
+    )
+    return curve.watts(utilization)
+
+
+def figure10_series(
+    app: str = "cnn0", utilizations: tuple[float, ...] = tuple(i / 10 for i in range(11))
+) -> dict[str, list[tuple[float, float]]]:
+    """Watts/die vs load for the five Figure 10 series.
+
+    ``Haswell`` is total power by definition; ``K80`` and ``TPU`` are
+    incremental (die only); the ``+host`` variants add the host server's
+    share divided by the dies it hosts (8 GPUs or 4 TPUs per server).
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    cpu_curve = PowerCurve(
+        name="cpu-server",
+        idle_w=SERVERS["cpu"].idle_w,
+        busy_w=SERVERS["cpu"].busy_w,
+        alpha=platform_curve("cpu", app).alpha,
+    )
+    series["Haswell (total, /2 dies)"] = [
+        (u, cpu_curve.watts(u) / SERVERS["cpu"].dies) for u in utilizations
+    ]
+    for kind, label in (("gpu", "K80"), ("tpu", "TPU")):
+        die = platform_curve(kind, app)
+        dies = SERVERS[kind].dies
+        series[f"{label} (incremental)"] = [(u, die.watts(u)) for u in utilizations]
+        series[f"{label}+host/{dies}"] = [
+            (u, die.watts(u) + host_share_watts(kind, u, app) / dies)
+            for u in utilizations
+        ]
+    return series

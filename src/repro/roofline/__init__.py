@@ -1,0 +1,13 @@
+"""The Roofline performance model (Section 4, Figures 5-8)."""
+
+from repro.roofline.model import AppPoint, RooflineView, app_points, chip_roofline, tpu_roofline
+from repro.roofline.render import render_roofline
+
+__all__ = [
+    "AppPoint",
+    "RooflineView",
+    "app_points",
+    "chip_roofline",
+    "render_roofline",
+    "tpu_roofline",
+]

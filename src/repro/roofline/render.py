@@ -1,0 +1,60 @@
+"""ASCII rendering of rooflines (Figures 5-8)."""
+
+from __future__ import annotations
+
+from repro.roofline.model import AppPoint, RooflineView
+from repro.util.textplot import AsciiPlot
+
+_MARKERS = "*^o+x#"
+
+
+def render_roofline(
+    views: list[RooflineView],
+    point_sets: dict[str, list[AppPoint]],
+    title: str,
+    width: int = 76,
+    height: int = 26,
+) -> str:
+    """Log-log plot of one or more rooflines with app points.
+
+    ``point_sets`` maps a label (platform name) to its app points; each
+    set gets its own marker, matching Figure 8's stars/triangles/circles.
+    """
+    if not views:
+        raise ValueError("need at least one roofline to draw")
+    lo = 1.0
+    hi = max(
+        10000.0,
+        max((p.intensity for pts in point_sets.values() for p in pts), default=0) * 2,
+    )
+    plot = AsciiPlot(
+        title=title,
+        x_label="operational intensity (MACs per weight byte)",
+        y_label="ops/s",
+        width=width,
+        height=height,
+        log_x=True,
+        log_y=True,
+    )
+    for i, view in enumerate(views):
+        plot.add_series(
+            f"{view.name} roofline",
+            view.ceiling_points(lo, hi),
+            marker=".",
+            connect=True,
+        )
+    for i, (label, points) in enumerate(point_sets.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        plot.add_series(
+            label,
+            [(p.intensity, p.achieved_ops) for p in points],
+            marker=marker,
+        )
+    lines = [plot.render(), ""]
+    for label, points in point_sets.items():
+        for p in sorted(points, key=lambda q: q.intensity):
+            lines.append(
+                f"  {label:8} {p.app:6} intensity {p.intensity:8.1f}  "
+                f"achieved {p.achieved_ops / 1e12:7.3f} TOPS"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Shared substrate: units, statistics, text tables, and ASCII plots.
+
+These helpers are deliberately dependency-light (numpy only) so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.util.stats import (
+    geometric_mean,
+    percentile,
+    weighted_geometric_mean,
+    weighted_mean,
+)
+from repro.util.tables import TextTable
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    GIGA,
+    KILO,
+    MEGA,
+    TERA,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    format_bytes,
+    format_count,
+    format_seconds,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "TERA",
+    "TextTable",
+    "cycles_to_seconds",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "geometric_mean",
+    "percentile",
+    "seconds_to_cycles",
+    "weighted_geometric_mean",
+    "weighted_mean",
+]

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment output.
+
+Every table/figure harness prints through :class:`TextTable` so that the
+regenerated artifacts read like the paper's tables in a terminal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """A fixed-schema text table with per-column alignment.
+
+    >>> t = TextTable(["App", "TOPS"])
+    >>> t.add_row(["MLP0", 12.3])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self._columns = [str(c) for c in columns]
+        self._rows: list[list[str]] = []
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        return [list(r) for r in self._rows]
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._format_cell(cell) for cell in row]
+        if len(cells) != len(self._columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self._columns)} columns"
+            )
+        self._rows.append(cells)
+
+    def add_rows(self, rows: Iterable[Iterable[object]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    @staticmethod
+    def _format_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            padded = []
+            for i, cell in enumerate(cells):
+                # Left-align the first column (names); right-align numbers.
+                if i == 0:
+                    padded.append(cell.ljust(widths[i]))
+                else:
+                    padded.append(cell.rjust(widths[i]))
+            return "| " + " | ".join(padded) + " |"
+
+        separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(separator)
+        lines.append(fmt(self._columns))
+        lines.append(separator)
+        for row in self._rows:
+            lines.append(fmt(row))
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

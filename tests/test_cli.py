@@ -1,0 +1,39 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mlp0" in out and "table6" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "mlp1"]) == 0
+        out = capsys.readouterr().out
+        assert "TOPS" in out and "Unified Buffer" in out
+
+    def test_profile_precision_flag(self, capsys):
+        assert main(["profile", "mlp1", "--activation-bits", "16"]) == 0
+        assert "TOPS" in capsys.readouterr().out
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Haswell" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_report_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", str(target)]) == 0
+        assert target.exists()
+        assert "## table1" in target.read_text()
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

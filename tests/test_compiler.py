@@ -1,0 +1,226 @@
+"""Tests for tiling, allocation, and lowering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.allocator import (
+    LivenessAllocator,
+    Request,
+    StaticPartitionAllocator,
+    UBOverflowError,
+)
+from repro.compiler.driver import TPUDriver
+from repro.compiler.lowering import Lowering, groups_of
+from repro.compiler.tiling import TileCoord, padded_tile_bytes, tile_grid, tile_matmul, utilization
+from repro.core.config import TPUConfig
+from repro.isa.instructions import (
+    Activate,
+    MatrixMultiply,
+    ReadHostMemory,
+    ReadWeights,
+    VectorInstruction,
+    VectorKind,
+    WriteHostMemory,
+)
+from repro.util.units import MIB
+
+
+class TestTiling:
+    def test_exact_fit(self):
+        assert tile_grid(512, 512, 256) == (2, 2)
+        assert len(tile_matmul(512, 512, 256)) == 4
+
+    def test_fragmentation_600(self):
+        # Section 7's example: 600x600 tiles into 9 passes on a 256 array
+        # but only 4 on a 512 array -- each moving 4x the bytes.
+        assert len(tile_matmul(600, 600, 256)) == 9
+        assert len(tile_matmul(600, 600, 512)) == 4
+        assert padded_tile_bytes(512) == 4 * padded_tile_bytes(256)
+
+    def test_edge_extents(self):
+        tiles = tile_matmul(600, 600, 256)
+        extents = {(t.k, t.n) for t in tiles}
+        assert (256, 256) in extents and (88, 88) in extents
+
+    def test_n_major_order(self):
+        tiles = tile_matmul(600, 300, 256)
+        # First stripe's K tiles come before the second stripe starts.
+        assert tiles[0].n0 == 0 and tiles[2].n0 == 0
+        assert tiles[3].n0 == 256
+
+    def test_utilization(self):
+        coord = TileCoord(k0=0, k=128, n0=0, n=256)
+        assert utilization(coord, 256) == pytest.approx(0.5)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            tile_grid(0, 5, 256)
+        with pytest.raises(ValueError):
+            TileCoord(k0=0, k=0, n0=0, n=1)
+
+    @given(st.integers(1, 2000), st.integers(1, 2000), st.sampled_from([128, 256, 512]))
+    @settings(max_examples=60)
+    def test_tiles_cover_matrix_exactly(self, k, n, dim):
+        tiles = tile_matmul(k, n, dim)
+        assert sum(t.elements for t in tiles) == k * n
+        spans = {(t.k0, t.k0 + t.k, t.n0, t.n0 + t.n) for t in tiles}
+        assert len(spans) == len(tiles)  # disjoint
+
+
+class TestLivenessAllocator:
+    def test_reuses_dead_ranges(self):
+        alloc = LivenessAllocator().allocate(
+            [Request("a", 1000, 0, 1), Request("b", 1000, 2, 3)], 2048
+        )
+        assert alloc.offsets["a"] == alloc.offsets["b"] == 0
+        assert alloc.peak_bytes == 1024  # aligned
+
+    def test_live_overlap_separates(self):
+        alloc = LivenessAllocator().allocate(
+            [Request("a", 100, 0, 2), Request("b", 100, 1, 3)], 4096
+        )
+        assert alloc.offsets["a"] != alloc.offsets["b"]
+
+    def test_overflow_raises(self):
+        with pytest.raises(UBOverflowError):
+            LivenessAllocator().allocate([Request("a", 5000, 0, 1)], 4096)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            LivenessAllocator().allocate(
+                [Request("a", 10, 0, 1), Request("a", 10, 0, 1)], 4096
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 5000),  # nbytes
+                st.integers(0, 10),  # start
+                st.integers(0, 10),  # extra length
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60)
+    def test_no_live_ranges_alias(self, raw):
+        requests = [
+            Request(f"t{i}", nbytes, start, start + extra)
+            for i, (nbytes, start, extra) in enumerate(raw)
+        ]
+        alloc = LivenessAllocator().allocate(requests, capacity_bytes=1 << 22)
+        placed = {
+            r.name: (alloc.offsets[r.name], alloc.offsets[r.name] + r.nbytes, r)
+            for r in requests
+        }
+        items = list(placed.values())
+        for i, (lo_a, hi_a, a) in enumerate(items):
+            for lo_b, hi_b, b in items[i + 1 :]:
+                if a.overlaps(b):
+                    assert hi_a <= lo_b or hi_b <= lo_a, (a, b)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request("x", 0, 0, 1)
+        with pytest.raises(ValueError):
+            Request("x", 1, 2, 1)
+
+
+class TestStaticPartitionAllocator:
+    def test_reserves_whole_buffer(self):
+        alloc = StaticPartitionAllocator().allocate(
+            [Request("a", 100, 0, 1)], 24 * MIB
+        )
+        assert alloc.peak_bytes == 24 * MIB  # "used its full capacity"
+
+    def test_alternating_banks(self):
+        alloc = StaticPartitionAllocator().allocate(
+            [Request("a", 100, 0, 1), Request("b", 100, 1, 2)], 4096
+        )
+        assert (alloc.offsets["a"] < 2048) != (alloc.offsets["b"] < 2048)
+
+    def test_bank_overflow(self):
+        with pytest.raises(UBOverflowError):
+            StaticPartitionAllocator().allocate([Request("a", 3000, 0, 1)], 4096)
+
+
+class TestLowering:
+    def test_program_structure_mlp(self, tiny_mlp):
+        compiled = TPUDriver().compile(tiny_mlp)
+        counts = compiled.program.instruction_counts()
+        # One matmul + one read_weights per weight tile; each of the three
+        # layers (20->40, 40->40, 40->8) is a single tile.
+        assert counts["MATRIX_MULTIPLY"] == counts["READ_WEIGHTS"] == 3
+        assert counts["ACTIVATE"] == 3  # one per N-stripe per layer
+        assert counts["READ_HOST_MEMORY"] == 1
+        assert counts["WRITE_HOST_MEMORY"] == 1
+        assert counts["HALT"] == 1
+
+    def test_matmul_accumulate_pattern(self):
+        from repro.nn.graph import Model
+        from repro.nn.layers import FullyConnected
+
+        model = Model(
+            "wide", (FullyConnected("fc", 600, 300),), (600,), batch_size=4
+        )
+        compiled = TPUDriver().compile(model)
+        matmuls = [
+            i for i in compiled.program.instructions if isinstance(i, MatrixMultiply)
+        ]
+        # 600 -> 3 K-tiles, 300 -> 2 stripes: 6 matmuls; the first of each
+        # stripe overwrites, the rest accumulate.
+        assert [m.accumulate for m in matmuls] == [False, True, True] * 2
+
+    def test_deps_are_aligned(self, tiny_cnn):
+        compiled = TPUDriver().compile(tiny_cnn)
+        deps = compiled.program.metadata["deps"]
+        assert len(deps) == len(compiled.program.instructions)
+
+    def test_lstm_emits_gate_ops(self, tiny_lstm):
+        compiled = TPUDriver().compile(tiny_lstm)
+        gates = [
+            i
+            for i in compiled.program.instructions
+            if isinstance(i, VectorInstruction) and i.kind == VectorKind.LSTM_GATE
+        ]
+        assert len(gates) == 2 * 5  # two cells x five steps
+
+    def test_conv_emits_im2col_chunks(self, tiny_cnn):
+        compiled = TPUDriver().compile(tiny_cnn)
+        setups = [
+            i
+            for i in compiled.program.instructions
+            if isinstance(i, VectorInstruction) and i.kind == VectorKind.IM2COL
+        ]
+        assert len(setups) == 3  # one chunk per conv layer (small rows)
+
+    def test_residual_emitted(self, tiny_cnn):
+        compiled = TPUDriver().compile(tiny_cnn)
+        adds = [
+            i
+            for i in compiled.program.instructions
+            if isinstance(i, VectorInstruction) and i.kind == VectorKind.RESIDUAL_ADD
+        ]
+        assert len(adds) == 1
+
+    def test_ub_capacity_respected(self, workloads, driver):
+        for name, model in workloads.items():
+            compiled = driver.compile(model)
+            assert compiled.ub_peak_bytes <= 24 * MIB
+
+    def test_weight_traffic_accounts_padded_tiles(self, tiny_mlp):
+        compiled = TPUDriver().compile(tiny_mlp)
+        reads = sum(
+            1 for i in compiled.program.instructions if isinstance(i, ReadWeights)
+        )
+        assert compiled.weight_traffic_bytes == reads * 256 * 256
+
+    def test_scaled_matrix_dim_rejected_by_lowering(self, tiny_mlp):
+        config = TPUConfig().scaled(matrix=2)
+        with pytest.raises(NotImplementedError):
+            Lowering(tiny_mlp, config).lower()
+
+    def test_groups_helper(self):
+        assert groups_of(1) == 1
+        assert groups_of(256) == 1
+        assert groups_of(257) == 2

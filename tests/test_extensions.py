@@ -1,0 +1,200 @@
+"""Extension-feature and edge-case tests.
+
+Covers the Section 2 precision modes, the LUT activation unit, driver
+caching, the dependency tracker, allocator corner cases, and failure
+injection on malformed programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.driver import TPUDriver
+from repro.compiler.lowering import Lowering, _DepTracker
+from repro.core.activation_unit import ActivationUnit
+from repro.core.config import TPU_V1
+from repro.core.device import TPUDevice
+from repro.isa.instructions import Halt, MatrixMultiply, ReadWeights
+from repro.isa.program import TPUProgram
+from repro.nn.layers import Activation
+from repro.nn.quantization import TensorScale, apply_activation, requantize
+
+
+class TestPrecisionModes:
+    """Section 2: mixed precision halves throughput; 16x16 quarters it."""
+
+    def test_quarter_speed_on_compute_bound_app(self, workloads):
+        driver = TPUDriver()
+        model = workloads["cnn0"]
+        full = driver.profile(driver.compile(model))
+        quarter = driver.profile(
+            driver.compile(model, weight_bits=16, activation_bits=16)
+        )
+        # CNN0 is compute-bound, so 4x slower compute shows up directly.
+        assert quarter.seconds / full.seconds > 2.5
+
+    def test_half_speed_mixed(self, workloads):
+        driver = TPUDriver()
+        model = workloads["cnn0"]
+        full = driver.profile(driver.compile(model))
+        half = driver.profile(driver.compile(model, activation_bits=16))
+        assert 1.3 < half.seconds / full.seconds < 2.6
+
+    def test_memory_bound_apps_barely_care(self, workloads):
+        driver = TPUDriver()
+        model = workloads["mlp1"]
+        full = driver.profile(driver.compile(model))
+        quarter = driver.profile(
+            driver.compile(model, weight_bits=16, activation_bits=16)
+        )
+        # Weight-DRAM-bound: slower MACs hide behind the same stalls.
+        assert quarter.seconds / full.seconds < 1.6
+
+    def test_functional_requires_8bit(self, tiny_mlp):
+        driver = TPUDriver()
+        compiled = driver.compile_functional(tiny_mlp, seed=1)
+        del compiled
+        with pytest.raises(NotImplementedError):
+            Lowering(tiny_mlp, TPU_V1, params=object(), weight_bits=16)  # type: ignore[arg-type]
+
+    def test_bad_widths_rejected(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            Lowering(tiny_mlp, TPU_V1, weight_bits=12)
+
+
+class TestActivationLUT:
+    def test_lut_close_to_exact_sigmoid(self):
+        exact = ActivationUnit(256, mode="exact")
+        lut = ActivationUnit(256, mode="lut", lut_bits=12)
+        acc = np.arange(-500, 500, dtype=np.int32).reshape(-1, 1)
+        s_in = TensorScale(0.01)
+        s_w = TensorScale(1.0)
+        s_out = TensorScale(1 / 127)
+        a = exact.activate(acc, s_in, s_w, s_out, Activation.SIGMOID)
+        b = lut.activate(acc, s_in, s_w, s_out, Activation.SIGMOID)
+        assert np.abs(a.astype(int) - b.astype(int)).max() <= 1  # one code step
+
+    def test_lut_saturates_cleanly(self):
+        lut = ActivationUnit(256, mode="lut", lut_bits=8)
+        acc = np.array([[10**6], [-(10**6)]], dtype=np.int32)
+        s = TensorScale(1.0)
+        out = lut.activate(acc, s, s, TensorScale(1 / 127), Activation.TANH)
+        assert out[0, 0] == 127 and out[1, 0] == -127
+
+    def test_relu_bypasses_lut(self):
+        lut = ActivationUnit(256, mode="lut")
+        acc = np.array([[-5, 7]], dtype=np.int32)
+        s = TensorScale(1.0)
+        out = lut.activate(acc, s, s, TensorScale(1.0), Activation.RELU)
+        expected = requantize(acc, s, s, TensorScale(1.0), Activation.RELU)
+        assert np.array_equal(out, expected)
+
+    def test_cycles_ceil(self):
+        unit = ActivationUnit(256)
+        assert unit.cycles(0) == 0
+        assert unit.cycles(1) == 1
+        assert unit.cycles(257) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActivationUnit(0)
+        with pytest.raises(ValueError):
+            ActivationUnit(256, mode="magic")
+        with pytest.raises(ValueError):
+            ActivationUnit(256, lut_bits=2)
+
+    def test_vector_op_matches_reference_semantics(self):
+        unit = ActivationUnit(256)
+        codes = np.array([[10, -10]], dtype=np.int8)
+        s_in = TensorScale(0.1)
+        s_out = TensorScale(0.01)
+        out = unit.vector_op(codes, s_in, s_out, Activation.TANH)
+        expected = np.clip(
+            np.rint(apply_activation(codes * 0.1, Activation.TANH) / 0.01), -128, 127
+        )
+        assert np.array_equal(out, expected.astype(np.int8))
+
+
+class TestDriverCaching:
+    def test_compile_is_cached(self, tiny_mlp):
+        driver = TPUDriver()
+        first = driver.compile(tiny_mlp)
+        second = driver.compile(tiny_mlp)
+        assert first is second
+
+    def test_precision_variants_not_conflated(self, tiny_mlp):
+        driver = TPUDriver()
+        a = driver.compile(tiny_mlp)
+        b = driver.compile(tiny_mlp, weight_bits=16, activation_bits=16)
+        assert a is not b
+
+
+class TestDepTracker:
+    def test_war_returned_on_overlap(self):
+        tracker = _DepTracker()
+        t0, war0 = tracker.write("x", 0, 10)
+        assert war0 == ()
+        t1, war1 = tracker.write("x", 5, 15)
+        assert war1 == (t0,)
+        assert t1 != t0
+
+    def test_reads_see_live_writers(self):
+        tracker = _DepTracker()
+        t0, _ = tracker.write("x", 0, 10)
+        assert tracker.read("x", 5, 6) == (t0,)
+        assert tracker.read("x", 10, 20) == ()
+
+    def test_contained_writes_replace(self):
+        tracker = _DepTracker()
+        tracker.write("x", 0, 10)
+        t1, _ = tracker.write("x", 0, 10)
+        assert tracker.read("x", 0, 10) == (t1,)
+
+    def test_empty_write_rejected(self):
+        with pytest.raises(ValueError):
+            _DepTracker().write("x", 5, 5)
+
+
+class TestFailureInjection:
+    def test_matmul_without_fifo_tile(self):
+        program = TPUProgram(
+            name="bad",
+            instructions=(
+                MatrixMultiply(ub_row=0, acc_row=0, rows=1, accumulate=False,
+                               load_new_tile=True),
+                Halt(),
+            ),
+            tiles={},
+            scales=(),
+            host_buffers={},
+            batch_size=1,
+        )
+        with pytest.raises(RuntimeError, match="empty Weight FIFO"):
+            TPUDevice().run(program)
+
+    def test_functional_requires_tile_data(self, tiny_mlp):
+        driver = TPUDriver()
+        compiled = driver.compile(tiny_mlp)  # timing-only: tiles carry no data
+        device = TPUDevice(functional=True)
+        with pytest.raises(ValueError, match="no data"):
+            device.run(compiled.program, host_input=np.zeros((5, 20), dtype=np.int8))
+
+    def test_read_weights_unknown_tile_in_functional_mode(self):
+        program = TPUProgram(
+            name="missing-tile",
+            instructions=(ReadWeights(tile_id=0), Halt()),
+            tiles={},
+            scales=(),
+            host_buffers={},
+            batch_size=1,
+        )
+        # Timing-only mode tolerates it (no data is touched)...
+        TPUDevice(functional=False).run(program)
+
+    def test_breakdown_survives_trivial_program(self):
+        program = TPUProgram(
+            name="empty", instructions=(Halt(),), tiles={}, scales=(),
+            host_buffers={}, batch_size=1,
+        )
+        result = TPUDevice().run(program)
+        assert result.breakdown.total >= 1.0
+        assert result.breakdown.non_matrix == result.breakdown.total

@@ -1,0 +1,199 @@
+"""Tests for quantization and the reference executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.graph import Model
+from repro.nn.layers import Activation, Conv2D, FullyConnected
+from repro.nn.quantization import (
+    TensorScale,
+    apply_activation,
+    choose_scale,
+    dequantize,
+    quant_range,
+    quantize,
+    quantized_matmul,
+    requantize,
+)
+from repro.nn.reference import (
+    ReferenceExecutor,
+    im2col,
+    initialize_weights,
+    max_pool,
+    random_input,
+)
+
+
+class TestQuantization:
+    def test_quant_range(self):
+        assert quant_range(8) == (-128, 127)
+        assert quant_range(16) == (-32768, 32767)
+        with pytest.raises(ValueError):
+            quant_range(4)
+
+    def test_choose_scale_covers_peak(self):
+        values = np.array([-3.0, 2.0])
+        scale = choose_scale(values)
+        codes = quantize(values, scale)
+        assert codes.min() >= -128 and codes.max() <= 127
+        assert dequantize(codes, scale) == pytest.approx(values, abs=scale.scale)
+
+    def test_all_zero_tensor_quantizes(self):
+        scale = choose_scale(np.zeros(4))
+        assert np.array_equal(quantize(np.zeros(4), scale), np.zeros(4, dtype=np.int8))
+
+    def test_quantize_saturates(self):
+        scale = TensorScale(scale=1.0)
+        codes = quantize(np.array([1000.0, -1000.0]), scale)
+        assert codes.tolist() == [127, -128]
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TensorScale(scale=0.0)
+
+    def test_quantized_matmul_accumulates_int32(self):
+        x = np.full((2, 3), 100, dtype=np.int8)
+        w = np.full((3, 2), 100, dtype=np.int8)
+        out = quantized_matmul(x, w)
+        assert out.dtype == np.int32
+        assert np.all(out == 30000)
+
+    def test_quantized_matmul_rejects_floats(self):
+        with pytest.raises(TypeError):
+            quantized_matmul(np.ones((2, 2)), np.ones((2, 2), dtype=np.int8))
+
+    def test_requantize_requires_int32(self):
+        s = TensorScale(0.1)
+        with pytest.raises(TypeError):
+            requantize(np.zeros((1, 1)), s, s, s, Activation.RELU)
+
+    def test_activation_functions(self):
+        x = np.array([-1.0, 0.0, 1.0])
+        assert apply_activation(x, Activation.RELU).tolist() == [0.0, 0.0, 1.0]
+        assert apply_activation(x, Activation.NONE) is x
+        assert apply_activation(np.array([0.0]), Activation.SIGMOID)[0] == 0.5
+        assert apply_activation(np.array([0.0]), Activation.TANH)[0] == 0.0
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=64).map(np.array),
+    )
+    def test_quantization_error_bounded_by_half_step(self, values):
+        scale = choose_scale(values)
+        codes = quantize(values, scale)
+        error = np.abs(dequantize(codes, scale) - values)
+        assert np.all(error <= scale.scale * 0.5 + 1e-12)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=25)
+    def test_matmul_matches_float_exactly_on_small_ints(self, b, k, n):
+        rng = np.random.default_rng(b * 100 + k * 10 + n)
+        x = rng.integers(-128, 128, size=(b, k)).astype(np.int8)
+        w = rng.integers(-128, 128, size=(k, n)).astype(np.int8)
+        assert np.array_equal(
+            quantized_matmul(x, w),
+            x.astype(np.int64) @ w.astype(np.int64),
+        )
+
+
+class TestSpatialHelpers:
+    def test_im2col_matches_direct_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 6, 6, 3))
+        w = rng.normal(size=(3 * 3 * 3, 4))
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1)
+        out = (cols @ w).reshape(2, oh, ow, 4)
+        # Direct computation at an interior point (no padding involved).
+        patch = x[0, 1:4, 2:5, :].reshape(-1)
+        expected = patch @ w
+        assert out[0, 2, 3] == pytest.approx(expected)
+
+    def test_im2col_shapes_with_stride(self):
+        x = np.zeros((1, 19, 19, 8))
+        cols, (oh, ow) = im2col(x, kernel=3, stride=2)
+        assert (oh, ow) == (10, 10)
+        assert cols.shape == (100, 72)
+
+    def test_im2col_zero_pads_edges(self):
+        x = np.ones((1, 2, 2, 1))
+        cols, _ = im2col(x, kernel=3, stride=1)
+        # Corner receptive fields include padded zeros.
+        assert cols.sum() < cols.size
+
+    def test_max_pool_reduces(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = max_pool(x, window=2, stride=2)
+        assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_max_pool_int_codes_safe_padding(self):
+        x = np.full((1, 3, 3, 1), -5, dtype=np.int8)
+        out = max_pool(x, window=2, stride=2)
+        assert out.max() == -5  # padding must not win
+
+
+class TestReferenceExecutor:
+    def test_float_forward_shapes(self, tiny_cnn):
+        executor = ReferenceExecutor(tiny_cnn)
+        x = random_input(tiny_cnn, seed=1)
+        out = executor.run_float(x)
+        assert out.shape == (6, 10)
+
+    def test_lstm_forward_matches_manual(self):
+        model = Model(
+            "one_cell",
+            layers=(FullyConnected("probe", 4, 4, Activation.NONE),),
+            input_shape=(4,),
+            batch_size=1,
+        )
+        del model  # structure check only; manual LSTM below
+        from repro.nn.layers import LSTMCell
+
+        cell_model = Model(
+            "cell", (LSTMCell("l", 3, 2, steps=2),), (2, 3), batch_size=1
+        )
+        weights = initialize_weights(cell_model, seed=0)
+        executor = ReferenceExecutor(cell_model, weights)
+        x = random_input(cell_model, seed=1).astype(np.float64)
+        out = executor.run_float(x)
+        w = weights["l"].astype(np.float64)
+        h = np.zeros((1, 2))
+        c = np.zeros((1, 2))
+        sig = lambda v: 1 / (1 + np.exp(-v))
+        for t in range(2):
+            z = np.concatenate([x[:, t, :], h], axis=1) @ w
+            gi, gf, gg, go = np.split(z, 4, axis=1)
+            c = sig(gf) * c + sig(gi) * np.tanh(gg)
+            h = sig(go) * np.tanh(c)
+            assert out[:, t, :] == pytest.approx(h)
+
+    def test_residual_adds_input(self):
+        layers = (FullyConnected("a", 4, 4, Activation.NONE),)
+        model = Model("res", layers, (4,), 2, residual_sources={0: -1})
+        weights = {"a": np.zeros((4, 4), dtype=np.float32)}
+        executor = ReferenceExecutor(model, weights)
+        x = np.ones((2, 4), dtype=np.float32)
+        assert executor.run_float(x) == pytest.approx(x)
+
+    def test_missing_weights_rejected(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            ReferenceExecutor(tiny_mlp, weights={})
+
+    def test_quantized_close_to_float(self, tiny_mlp):
+        executor = ReferenceExecutor(tiny_mlp, initialize_weights(tiny_mlp, 1))
+        x = random_input(tiny_mlp, seed=2)
+        params = executor.calibrate(x)
+        ref_float = executor.run_float(x)
+        ref_quant = executor.run_quantized(x, params)
+        real = ref_quant.astype(np.float64) * params.output_scales[-1].scale
+        # int8 end-to-end: expect small relative error on a 3-layer net.
+        scale = np.abs(ref_float).max()
+        assert np.abs(real - ref_float).max() / scale < 0.12
+
+    def test_calibration_scales_positional(self, tiny_cnn):
+        executor = ReferenceExecutor(tiny_cnn, initialize_weights(tiny_cnn, 1))
+        x = random_input(tiny_cnn, seed=2)
+        params = executor.calibrate(x)
+        assert len(params.output_scales) == len(tiny_cnn.layers)
+        assert set(params.weights) == {
+            layer.name for layer in tiny_cnn.layers if layer.matmul_shape
+        }

@@ -1,0 +1,110 @@
+"""Analytical-model tests: validation, Figure 11 shapes, TPU'."""
+
+import pytest
+
+from repro.core.config import TPU_V1
+from repro.nn.workloads import paper_workloads
+from repro.perfmodel.model import app_cost, tpu_seconds
+from repro.perfmodel.scaling import SCALE_KNOBS, scaling_sweep
+from repro.perfmodel.tpu_prime import tpu_prime_study
+from repro.perfmodel.validation import validate_against_simulator
+
+
+@pytest.fixture(scope="module")
+def models():
+    return paper_workloads()
+
+
+@pytest.fixture(scope="module")
+def sweep(models):
+    return scaling_sweep(models)
+
+
+class TestModelStructure:
+    def test_bounds_identified(self, models):
+        cost = app_cost(models["mlp0"], TPU_V1)
+        assert all(layer.bound == "weight" for layer in cost.layers)
+        cnn = app_cost(models["cnn0"], TPU_V1)
+        matrix_layers = [l for l in cnn.layers if l.bound == "matrix"]
+        assert len(matrix_layers) >= 12  # convs are compute-bound
+
+    def test_tops_close_to_simulator(self, models, profiles):
+        for name in ("mlp0", "mlp1", "lstm0"):
+            modelled = app_cost(models[name], TPU_V1).tera_ops
+            assert modelled == pytest.approx(profiles[name].tera_ops, rel=0.2)
+
+    def test_seconds_positive_and_batch_scaled(self, models):
+        assert tpu_seconds(models["mlp0"], TPU_V1) > 0
+
+
+class TestTable7:
+    def test_average_difference_under_12pct(self, models):
+        rows = validate_against_simulator(models)
+        diffs = [row.difference for row in rows.values()]
+        assert sum(diffs) / len(diffs) < 0.12  # paper averaged 8%
+        assert max(diffs) < 0.30
+
+
+class TestFigure11:
+    def test_memory_4x_triples_performance(self, sweep):
+        point = next(p for p in sweep if p.knob == "memory" and p.factor == 4.0)
+        assert 2.5 <= point.weighted_mean <= 4.0  # paper: ~3x
+
+    def test_clock_4x_is_flat(self, sweep):
+        point = next(p for p in sweep if p.knob == "clock" and p.factor == 4.0)
+        assert point.weighted_mean <= 1.35  # paper: ~1x overall
+
+    def test_clock_4x_helps_cnns(self, sweep):
+        # Paper: CNNs gain ~2x from a 4x clock.  In our finer model the
+        # accumulators must scale along (clock+), or conv row-chunking
+        # doubles weight traffic and the DRAM becomes the new bound --
+        # exactly why the paper couples accumulators to the clock knob.
+        point = next(p for p in sweep if p.knob == "clock+" and p.factor == 4.0)
+        assert point.per_app_speedup["cnn0"] >= 1.5
+
+    def test_memory_4x_mlps_near_3x(self, sweep):
+        point = next(p for p in sweep if p.knob == "memory" and p.factor == 4.0)
+        for app in ("mlp0", "mlp1", "lstm0", "lstm1"):
+            assert point.per_app_speedup[app] >= 2.5
+
+    def test_bigger_matrix_never_helps(self, sweep):
+        for factor in (2.0, 4.0):
+            for knob in ("matrix", "matrix+"):
+                point = next(
+                    p for p in sweep if p.knob == knob and p.factor == factor
+                )
+                assert point.weighted_mean <= 1.05  # paper: slight degradation
+
+    def test_downscaling_hurts(self, sweep):
+        for knob in SCALE_KNOBS:
+            point = next(p for p in sweep if p.knob == knob and p.factor == 0.25)
+            assert point.weighted_mean <= 1.0
+
+    def test_clock_plus_beats_clock_when_scaled_up(self, sweep):
+        plus = next(p for p in sweep if p.knob == "clock+" and p.factor == 4.0)
+        plain = next(p for p in sweep if p.knob == "clock" and p.factor == 4.0)
+        assert plus.geometric_mean >= plain.geometric_mean
+
+
+class TestTPUPrime:
+    def test_memory_is_the_winning_variant(self, models):
+        study = tpu_prime_study(models)
+        assert study.geometric_means["memory"] > 2.0
+        assert study.geometric_means["clock"] < 1.5
+        # "Doing both raises the geometric mean but not the weighted mean,
+        # so TPU' just has faster memory."
+        assert study.geometric_means["both"] >= study.geometric_means["memory"]
+        assert study.weighted_means["both"] == pytest.approx(
+            study.weighted_means["memory"], rel=0.1
+        )
+
+    def test_host_adjustment_drops_means(self, models):
+        study = tpu_prime_study(models)
+        assert study.host_adjusted_gm["memory"] < study.geometric_means["memory"]
+        # Paper: 3.9 -> 3.2 weighted; ours should land near 3.
+        assert 2.0 <= study.host_adjusted_wm["memory"] <= 4.5
+
+    def test_per_app_host_adjusted_bounded(self, models):
+        study = tpu_prime_study(models)
+        for app, raw in study.per_app["memory"].items():
+            assert study.per_app_host_adjusted["memory"][app] <= raw + 1e-9

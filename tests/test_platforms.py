@@ -1,0 +1,148 @@
+"""Platform model tests: specs, rooflines, serving points, anchors."""
+
+import pytest
+
+from repro.platforms.base import BATCH_CANDIDATES, SLA_SECONDS
+from repro.platforms.cpu import HaswellPlatform
+from repro.platforms.gpu import K80Platform
+from repro.platforms.specs import CHIPS, SERVERS
+from repro.platforms.tpu import TPUPlatform
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return HaswellPlatform()
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return K80Platform()
+
+
+@pytest.fixture(scope="module")
+def tpu():
+    return TPUPlatform()
+
+
+class TestSpecs:
+    def test_ridge_points_match_paper(self):
+        # Figure 5-7 captions: ~1350, ~13, ~9 MACs per weight byte.
+        assert CHIPS["tpu"].ridge_ops_per_byte == pytest.approx(1353, rel=0.02)
+        assert CHIPS["cpu"].ridge_ops_per_byte == pytest.approx(12.7, rel=0.05)
+        assert CHIPS["gpu"].ridge_ops_per_byte == pytest.approx(8.75, rel=0.05)
+
+    def test_weight_dtypes(self):
+        assert CHIPS["tpu"].weight_dtype_bytes == 1
+        assert CHIPS["cpu"].weight_dtype_bytes == 4
+        assert CHIPS["gpu"].weight_dtype_bytes == 4
+
+    def test_server_configurations(self):
+        assert SERVERS["cpu"].dies == 2
+        assert SERVERS["gpu"].dies == 8
+        assert SERVERS["tpu"].dies == 4
+        assert SERVERS["tpu"].tdp_w == 861
+
+    def test_tpu_has_25x_macs_and_3_5x_memory_of_k80(self):
+        # Conclusion-section arithmetic: 65,536 8-bit vs 2,496 32-bit MACs
+        # and 28 vs 8 MiB of on-chip memory.
+        assert CHIPS["tpu"].onchip_mib / CHIPS["gpu"].onchip_mib == pytest.approx(3.5)
+
+
+class TestRooflineMechanics:
+    def test_intensity_uses_dtype(self, cpu, tpu, workloads):
+        model = workloads["mlp0"]
+        assert tpu.intensity(model) == pytest.approx(200)
+        assert cpu.intensity(model) == pytest.approx(50)  # fp32 weights
+
+    def test_attainable_clamps_at_peak(self, cpu):
+        assert cpu.attainable_ops(1e6) == cpu.chip.peak_ops
+        assert cpu.attainable_ops(1.0) == pytest.approx(2 * cpu.chip.bandwidth)
+
+    def test_attainable_rejects_bad_intensity(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.attainable_ops(0)
+
+
+class TestTable4Anchors:
+    """The published MLP0 absolutes the CPU/GPU models calibrate to."""
+
+    def test_cpu_batch16_ips(self, cpu, workloads):
+        ips = workloads["mlp0"].batch_size  # silence lints; real check below
+        del ips
+        service = cpu.service_seconds(workloads["mlp0"], 16)
+        assert 16 / service == pytest.approx(5482, rel=0.1)
+
+    def test_cpu_batch64_ips(self, cpu, workloads):
+        service = cpu.service_seconds(workloads["mlp0"], 64)
+        assert 64 / service == pytest.approx(13194, rel=0.1)
+
+    def test_gpu_batch16_ips(self, gpu, workloads):
+        service = gpu.service_seconds(workloads["mlp0"], 16)
+        assert 16 / service == pytest.approx(13461, rel=0.35)
+
+    def test_tpu_batch200_ips(self, tpu, workloads):
+        ips = tpu.throughput_ips(workloads["mlp0"], 200)
+        assert ips == pytest.approx(225_000, rel=0.25)
+
+
+class TestServing:
+    def test_latency_bounded_batch_small_for_cpu(self, cpu, workloads):
+        batch = cpu.latency_bounded_batch(workloads["mlp0"])
+        assert batch <= 64  # the CPU cannot afford big batches at 7 ms
+
+    def test_serving_point_fields(self, cpu, workloads):
+        point = cpu.serving_point(workloads["mlp0"])
+        assert point.batch in BATCH_CANDIDATES
+        assert point.ips > 0
+        assert point.achieved_ops <= cpu.chip.peak_ops * 1.5
+
+    def test_sla_table(self, cpu, workloads):
+        assert cpu.sla_for(workloads["mlp0"]) == SLA_SECONDS["mlp0"] == 7e-3
+
+    def test_sequence_throughput_counts_steps(self, cpu, workloads):
+        model = workloads["lstm0"]
+        service = cpu.service_seconds(model, 32)
+        assert cpu.throughput_ips(model, 32) == pytest.approx(32 * 32 / service)
+
+    def test_tpu_serves_at_table1_batch(self, tpu, workloads):
+        for name, model in workloads.items():
+            assert tpu.serving_point(model).batch == model.batch_size
+
+    def test_tpu_pipelines_host_and_device(self, tpu, workloads):
+        model = workloads["mlp1"]
+        series = model.batch_size / tpu.service_seconds(model, model.batch_size)
+        pipelined = tpu.throughput_ips(model, model.batch_size)
+        assert pipelined >= series
+
+    def test_boost_mode_tradeoff(self, workloads):
+        # Section 8: +40% performance, +30% power on LSTM1.
+        base = K80Platform()
+        boost = K80Platform(boost_mode=True)
+        model = workloads["lstm1"]
+        batch = base.latency_bounded_batch(model)
+        perf = boost.throughput_ips(model, batch) / base.throughput_ips(model, batch)
+        power = boost.chip.busy_w / base.chip.busy_w
+        assert perf == pytest.approx(1.4, rel=0.1)
+        assert power == pytest.approx(1.3, rel=0.05)
+        assert 0.9 < perf / power < 1.3  # a minor net gain
+
+
+class TestTable6Bands:
+    def test_relative_performance_bands(self, cpu, gpu, tpu, workloads):
+        from repro.nn.workloads import DEPLOYMENT_MIX
+        from repro.util.stats import geometric_mean, weighted_mean
+
+        names = list(workloads)
+        gpu_rel, tpu_rel = [], []
+        for name in names:
+            model = workloads[name]
+            base = cpu.serving_point(model).ips
+            gpu_rel.append(gpu.serving_point(model).ips / base)
+            tpu_rel.append(tpu.serving_point(model).ips / base)
+        weights = [DEPLOYMENT_MIX[n] for n in names]
+        # Paper: GPU GM 1.1, TPU GM 14.5, TPU/GPU GM 13.2.
+        assert geometric_mean(gpu_rel) == pytest.approx(1.1, rel=0.35)
+        assert 10 <= geometric_mean(tpu_rel) <= 25
+        ratio_gm = geometric_mean([t / g for t, g in zip(tpu_rel, gpu_rel)])
+        assert 9 <= ratio_gm <= 20
+        assert 12 <= weighted_mean(tpu_rel, weights) <= 40

@@ -1,0 +1,67 @@
+"""Roofline model and rendering tests."""
+
+import pytest
+
+from repro.core.config import TPU_V1
+from repro.roofline.model import AppPoint, RooflineView, app_points, chip_roofline, tpu_roofline
+from repro.roofline.render import render_roofline
+from repro.platforms.specs import CHIPS
+
+
+class TestRooflineView:
+    def test_tpu_ridge(self):
+        view = tpu_roofline(TPU_V1)
+        assert view.ridge_ops_per_byte == pytest.approx(1349, rel=0.01)
+
+    def test_attainable_piecewise(self):
+        view = RooflineView("x", peak_ops=100.0, bandwidth=10.0)
+        assert view.attainable(1.0) == 20.0  # slanted region
+        assert view.attainable(1e6) == 100.0  # flat region
+        assert view.attainable(view.ridge_ops_per_byte) == pytest.approx(100.0)
+
+    def test_ceiling_points_monotone(self):
+        view = chip_roofline(CHIPS["cpu"])
+        points = view.ceiling_points(1, 10000)
+        ys = [y for _x, y in points]
+        assert ys == sorted(ys)
+
+    def test_headroom(self):
+        view = RooflineView("x", peak_ops=100.0, bandwidth=10.0)
+        point = AppPoint("app", intensity=1e6, achieved_ops=50.0)
+        assert point.headroom(view) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RooflineView("x", peak_ops=0, bandwidth=1)
+        with pytest.raises(ValueError):
+            RooflineView("x", peak_ops=1, bandwidth=1).attainable(0)
+
+
+class TestAppPlacement:
+    def test_memory_vs_compute_bound_split(self, workloads):
+        from repro.analysis.common import platforms
+
+        tpu = platforms()["tpu"]
+        view = chip_roofline(tpu.chip)
+        for point in app_points(tpu, workloads):
+            if point.app.startswith("cnn"):
+                assert point.intensity > view.ridge_ops_per_byte
+            else:
+                assert point.intensity < view.ridge_ops_per_byte
+
+    def test_points_under_ceiling(self, workloads):
+        from repro.analysis.common import platforms
+
+        for platform in platforms().values():
+            view = chip_roofline(platform.chip)
+            for point in app_points(platform, workloads):
+                assert point.achieved_ops <= view.attainable(point.intensity) * 1.35
+
+    def test_render_includes_all_apps(self, workloads):
+        from repro.analysis.common import platforms
+
+        tpu = platforms()["tpu"]
+        points = app_points(tpu, workloads)
+        text = render_roofline([chip_roofline(tpu.chip)], {"TPU": points}, "demo")
+        for name in workloads:
+            assert name in text

@@ -1,0 +1,110 @@
+"""The six applications must match Table 1's published characteristics."""
+
+import pytest
+
+from repro import _paper
+from repro.nn.workloads import (
+    DEPLOYMENT_MIX,
+    build_workload,
+    mix_weights,
+    paper_workloads,
+)
+
+#: Tolerated relative deviation from Table 1's weights / intensity.
+BAND = 0.20
+
+
+class TestCensus:
+    @pytest.mark.parametrize("name", list(_paper.TABLE1))
+    def test_layer_counts_exact(self, workloads, name):
+        census = workloads[name].layer_census()
+        pub = _paper.TABLE1[name]
+        assert census["fc"] == pub["fc"]
+        assert census["conv"] == pub["conv"]
+        assert census["vector"] == pub["vector"]
+        assert census["pool"] == pub["pool"]
+        assert census["total"] == pub["total"]
+
+    @pytest.mark.parametrize("name", list(_paper.TABLE1))
+    def test_batch_exact(self, workloads, name):
+        assert workloads[name].batch_size == _paper.TABLE1[name]["batch"]
+
+    @pytest.mark.parametrize("name", list(_paper.TABLE1))
+    def test_weights_within_band(self, workloads, name):
+        measured = workloads[name].total_weights / 1e6
+        published = _paper.TABLE1[name]["weights_m"]
+        assert measured == pytest.approx(published, rel=BAND)
+
+    @pytest.mark.parametrize("name", list(_paper.TABLE1))
+    def test_intensity_within_band(self, workloads, name):
+        measured = workloads[name].ops_per_weight_byte()
+        published = _paper.TABLE1[name]["ops_per_byte"]
+        assert measured == pytest.approx(published, rel=BAND)
+
+    def test_fc_models_intensity_equals_batch(self, workloads):
+        for name in ("mlp0", "mlp1", "lstm0", "lstm1"):
+            model = workloads[name]
+            assert model.ops_per_weight_byte() == pytest.approx(model.batch_size)
+
+
+class TestStructure:
+    def test_lstm1_contains_600x600(self, workloads):
+        shapes = {
+            layer.matmul_shape
+            for layer in workloads["lstm1"].layers
+            if layer.matmul_shape
+        }
+        assert (600, 600) in shapes
+
+    def test_cnn1_has_shallow_depth(self, workloads):
+        from repro.nn.layers import Conv2D
+
+        depths = {
+            layer.out_channels
+            for layer in workloads["cnn1"].layers
+            if isinstance(layer, Conv2D)
+        }
+        assert all(d < 256 for d in depths)
+
+    def test_cnn1_residuals_span_blocks(self, workloads):
+        sources = workloads["cnn1"].residual_sources
+        assert len(sources) >= 10
+        spans = [dst - src for dst, src in sources.items()]
+        assert max(spans) > 30  # long-range feature reuse
+
+    def test_cnn0_is_conv_only(self, workloads):
+        census = workloads["cnn0"].layer_census()
+        assert census["conv"] == census["total"] == 16
+
+    def test_cnns_above_tpu_ridge(self, workloads):
+        # The qualitative split: CNNs compute-bound, MLPs/LSTMs memory-bound.
+        from repro.core.config import TPU_V1
+
+        ridge = TPU_V1.ridge_ops_per_byte
+        for name, model in workloads.items():
+            intensity = model.ops_per_weight_byte()
+            if name.startswith("cnn"):
+                assert intensity > ridge
+            else:
+                assert intensity < ridge
+
+
+class TestMix:
+    def test_mix_sums_to_one(self):
+        assert sum(DEPLOYMENT_MIX.values()) == pytest.approx(1.0)
+
+    def test_lead_apps_carry_pair_weight(self):
+        assert DEPLOYMENT_MIX["mlp0"] > DEPLOYMENT_MIX["lstm0"] > DEPLOYMENT_MIX["cnn0"]
+        assert DEPLOYMENT_MIX["mlp1"] == 0.0
+
+    def test_mix_weights_aligned(self):
+        names = ["cnn0", "mlp0"]
+        assert mix_weights(names) == [DEPLOYMENT_MIX["cnn0"], DEPLOYMENT_MIX["mlp0"]]
+
+    def test_build_workload_by_name(self):
+        assert build_workload("MLP0").name == "mlp0"
+        with pytest.raises(KeyError):
+            build_workload("vgg")
+
+    def test_paper_workloads_order(self):
+        assert list(paper_workloads()) == ["mlp0", "mlp1", "lstm0", "lstm1", "cnn0", "cnn1"]
