@@ -1,15 +1,33 @@
 #!/usr/bin/env python3
-"""Fleet economics: performance/Watt and energy proportionality.
+"""Fleet economics and fleet serving: what a datacenter actually runs.
 
 The paper's Section 5-6 argument in one script: compare whole servers on
 performance per provisioned Watt (the TCO proxy), then look at what each
-platform burns at partial load -- where real datacenters live.
+platform burns at partial load -- where real datacenters live.  The last
+section drives a replicated TPU fleet with the event-driven serving
+simulator (:mod:`repro.serving`): SLO-adaptive batching behind a
+join-shortest-queue router, swept from light load to near-capacity.
 """
 
 from repro.analysis.common import platforms, workloads
 from repro.power.perfwatt import figure9_bars, server_scale_study
 from repro.power.proportionality import figure10_series
+from repro.serving import FleetSpec, max_throughput_under_slo, serving_sweep, sweep_table
 from repro.util.tables import TextTable
+
+
+def serving_section(models, plats) -> None:
+    print("\nServing MLP0 under the 7 ms p99 limit, TPU fleet behind JSQ:")
+    for replicas in (1, 4):
+        spec = FleetSpec(
+            platform=plats["tpu"], model=models["mlp0"], replicas=replicas,
+            policy="adaptive", slo_seconds=7e-3, router="jsq",
+        )
+        points = serving_sweep(spec, (0.3, 0.6, 0.9), n_requests=6000)
+        print(sweep_table(spec, points).render())
+        best = max_throughput_under_slo(points)
+        if best is not None:
+            print(f"  -> sustains {best.throughput_rps:,.0f} req/s inside the SLO\n")
 
 
 def main() -> None:
@@ -47,6 +65,8 @@ def main() -> None:
         f"\nAdding 4 TPUs to a Haswell server: CNN0 runs x{study.cnn0_speedup:.0f} "
         f"faster for {study.extra_power_fraction:.0%} more power."
     )
+
+    serving_section(models, plats)
 
 
 if __name__ == "__main__":

@@ -27,13 +27,7 @@ def main() -> None:
     for platform in platforms:
         for batch in (16, 64, 200, 250):
             service = platform.service_seconds(model, batch)
-            if isinstance(platform, TPUPlatform):
-                occupancy = max(
-                    platform.device_seconds(model, batch),
-                    platform.host_seconds(model, batch),
-                )
-            else:
-                occupancy = service
+            occupancy = platform.occupancy_seconds(model, batch)
             depth = max(int(round(platform.p99_factor * batch)), batch)
             stats = simulate_closed_loop(depth, batch, occupancy, service)
             table.add_row([

@@ -14,8 +14,10 @@ The package layout mirrors the paper: :mod:`repro.core` is the TPU
 microarchitecture, :mod:`repro.compiler` the user-space driver,
 :mod:`repro.nn` the six-application workload, :mod:`repro.platforms` the
 Haswell/K80 comparison points, :mod:`repro.perfmodel` the Section 7
-design-space model, and :mod:`repro.analysis` regenerates every table and
-figure of the evaluation.
+design-space model, :mod:`repro.serving` the event-driven datacenter
+serving simulator (fleets of replicas under a p99 SLO, Table 4 at
+scale), and :mod:`repro.analysis` regenerates every table and figure of
+the evaluation.
 """
 
 from repro.compiler import LivenessAllocator, StaticPartitionAllocator, TPUDriver

@@ -7,6 +7,9 @@ Commands:
 * ``experiment <id>``   -- regenerate one table/figure (e.g. ``table6``);
 * ``report [path]``     -- regenerate every experiment into a markdown
   report (defaults to EXPERIMENTS.md);
+* ``serve``             -- run the fleet serving simulator: sweep offered
+  load on N replicas under a p99 SLO and print the p99-vs-throughput
+  operating curve (the Table 4 mechanism, generalized);
 * ``list``              -- list workloads and experiment ids.
 """
 
@@ -60,6 +63,77 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        return _run_serve(args)
+    except (ValueError, OSError) as exc:
+        # Bad loads/SLO/trace inputs carry their own message; surface it
+        # as a CLI error, not a traceback.
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.common import platforms, workloads
+    from repro.serving import (
+        FleetSpec,
+        load_trace,
+        max_throughput_under_slo,
+        run_point,
+        sweep_table,
+    )
+
+    models = workloads()
+    if args.workload not in models:
+        print(f"unknown workload {args.workload!r}; try: "
+              + ", ".join(models), file=sys.stderr)
+        return 2
+    platform = platforms()[args.platform]
+    model = models[args.workload]
+    batch = args.batch
+    if batch is None and args.policy in ("fixed", "timeout"):
+        batch = platform.latency_bounded_batch(model, args.slo_ms * 1e-3)
+        print(f"(batch not given; using latency-bounded batch {batch})",
+              file=sys.stderr)
+    spec = FleetSpec(
+        platform=platform,
+        model=model,
+        replicas=args.replicas,
+        policy=args.policy,
+        slo_seconds=args.slo_ms * 1e-3,
+        batch_size=batch,
+        timeout_seconds=args.timeout_ms * 1e-3 if args.timeout_ms is not None else None,
+        router=args.router,
+    )
+    if args.trace:
+        arrivals = load_trace(args.trace)
+        result = spec.build().run(arrivals)
+        stats = result.stats(slo_seconds=spec.slo_seconds)
+        print(f"trace {args.trace}: {stats.completed} requests over "
+              f"{arrivals[-1]:.3f} s on {spec.platform.name} x{spec.replicas}")
+        print(f"  throughput {stats.throughput_rps:,.0f}/s  "
+              f"p50 {stats.p50_seconds * 1e3:.2f} ms  "
+              f"p99 {stats.p99_seconds * 1e3:.2f} ms  "
+              f"util {stats.utilization:.0%}  "
+              f"SLO misses {stats.slo_miss_fraction:.1%}")
+        return 0
+    fractions = tuple(float(f) for f in args.loads.split(","))
+    points = [
+        run_point(spec, fraction, n_requests=args.requests, seed=args.seed)[0]
+        for fraction in fractions
+    ]
+    print(sweep_table(spec, points).render())
+    best = max_throughput_under_slo(points)
+    if best is None:
+        print(f"\nno swept load meets the {args.slo_ms:g} ms p99 SLO "
+              "(overloaded or SLO below batch latency)")
+    else:
+        print(f"\nmax sustainable throughput under the {args.slo_ms:g} ms SLO: "
+              f"{best.throughput_rps:,.0f}/s at {best.load_fraction:.0%} load "
+              f"(p99 {best.p99_seconds * 1e3:.2f} ms)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import main as report_main
 
@@ -90,6 +164,39 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate the full report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     report.set_defaults(fn=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate a serving fleet under a p99 SLO (Table 4 at scale)",
+        description="Event-driven fleet serving simulation: sweep offered "
+        "load across N replicas and print the p99-vs-throughput operating "
+        "curve plus the max sustainable throughput under the SLO.",
+    )
+    serve.add_argument("--workload", default="mlp0",
+                       help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1 (default mlp0)")
+    serve.add_argument("--platform", default="tpu", choices=("cpu", "gpu", "tpu"))
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="number of accelerator replicas (default 1)")
+    serve.add_argument("--slo-ms", type=float, default=7.0,
+                       help="p99 response-time limit in ms (paper: 7)")
+    serve.add_argument("--policy", default="adaptive",
+                       choices=("adaptive", "fixed", "timeout"),
+                       help="batching policy (default: SLO-adaptive)")
+    serve.add_argument("--batch", type=int, default=None,
+                       help="batch size for fixed/timeout policies")
+    serve.add_argument("--timeout-ms", type=float, default=None,
+                       help="batch collection timeout for the timeout policy")
+    serve.add_argument("--router", default="round_robin",
+                       choices=("round_robin", "jsq"))
+    serve.add_argument("--loads", default="0.3,0.5,0.7,0.8,0.9,0.95",
+                       help="offered loads as fractions of fleet capacity")
+    serve.add_argument("--requests", type=int, default=20000,
+                       help="requests simulated per operating point")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace", default=None,
+                       help="replay an arrival trace file (one timestamp/line) "
+                            "instead of sweeping Poisson loads")
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.analysis import (  # noqa: E402  (registry population)
     table7,
     table8,
     extras,
+    serving,
 )
 
 #: Experiment id -> zero-argument callable returning ExperimentResult.
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "tpu_prime": extras.run_tpu_prime,
     "boost_mode": extras.run_boost_mode,
     "server_scale": extras.run_server_scale,
+    "serving_sweep": serving.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "platforms", "workloads"]

@@ -1,0 +1,78 @@
+"""serving_sweep: fleet-level p99-vs-throughput operating curves.
+
+Generalizes Table 4 with the event-driven serving simulator
+(:mod:`repro.serving`): each platform serves MLP0 under the 7 ms p99
+limit with SLO-adaptive batching, swept from light load to
+near-capacity; then the TPU fleet is scaled out to show how max
+sustainable throughput under the SLO grows with replicas.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.platforms.base import SLA_SECONDS
+from repro.serving.sweep import (
+    FleetSpec,
+    max_throughput_under_slo,
+    serving_sweep,
+    sweep_table,
+)
+from repro.util.tables import TextTable
+
+#: Load points and trace length trade report runtime for curve detail.
+LOAD_FRACTIONS = (0.3, 0.6, 0.8, 0.9, 0.95)
+N_REQUESTS = 8000
+
+
+def run() -> ExperimentResult:
+    mlp0 = workloads()["mlp0"]
+    slo = SLA_SECONDS["mlp0"]
+    sections: list[str] = []
+    measured: dict = {}
+
+    # One replica per platform: the Table 4 trade-off as a full curve.
+    for kind in ("cpu", "gpu", "tpu"):
+        spec = FleetSpec(
+            platform=platforms()[kind], model=mlp0, replicas=1,
+            policy="adaptive", slo_seconds=slo,
+        )
+        points = serving_sweep(spec, LOAD_FRACTIONS, n_requests=N_REQUESTS)
+        sections.append(sweep_table(spec, points).render())
+        best = max_throughput_under_slo(points)
+        measured[f"{kind}_max_ips_under_slo"] = best.throughput_rps if best else 0.0
+        measured[f"{kind}_adaptive_batch"] = spec.max_batch()
+
+    # Scale the TPU fleet: sustainable IPS under the SLO vs replicas.
+    scale = TextTable(
+        ["TPU replicas", "Router", "Max IPS (p99<=7ms)", "p99 there", "Scaling"],
+        title="Fleet scale-out -- MLP0, SLO-adaptive batching",
+    )
+    base = None
+    for replicas in (1, 2, 4):
+        spec = FleetSpec(
+            platform=platforms()["tpu"], model=mlp0, replicas=replicas,
+            policy="adaptive", slo_seconds=slo, router="jsq",
+        )
+        points = serving_sweep(spec, LOAD_FRACTIONS, n_requests=N_REQUESTS)
+        best = max_throughput_under_slo(points)
+        ips = best.throughput_rps if best else 0.0
+        base = ips if base is None else base
+        scale.add_row([
+            replicas, "jsq", f"{ips:,.0f}",
+            f"{best.p99_seconds * 1e3:.2f} ms" if best else "--",
+            f"x{ips / base:.2f}" if base else "--",
+        ])
+        measured[f"tpu_x{replicas}_max_ips"] = ips
+    sections.append(scale.render())
+    sections.append(
+        "paper: the 7 ms MLP0 limit caps the TPU near batch 200 (~80% of\n"
+        "peak IPS) while CPU/GPU are starved of batch; the simulator\n"
+        "reproduces that single-device result and extends it to fleets."
+    )
+    return ExperimentResult(
+        exp_id="serving_sweep",
+        title="Datacenter serving: p99 vs throughput at fleet scale",
+        text="\n\n".join(sections),
+        measured=measured,
+        paper={"tpu_pct_of_max_at_7ms": 0.80, "slo_seconds": slo},
+    )

@@ -1,6 +1,15 @@
-"""Response-time analysis: the batching queue behind Table 4."""
+"""Response-time analysis: the batching queue behind Table 4.
 
-from repro.latency.queueing import BatchQueueStats, simulate_batch_queue
+The simulators here are single-server wrappers over the fleet-scale
+event engine in :mod:`repro.serving`; use that package directly for
+multi-replica, policy-driven serving studies.
+"""
+
+from repro.latency.queueing import (
+    BatchQueueStats,
+    simulate_batch_queue,
+    simulate_closed_loop,
+)
 from repro.latency.sweep import Table4Row, max_ips_under_sla, table4_rows
 
 __all__ = [
@@ -8,5 +17,6 @@ __all__ = [
     "Table4Row",
     "max_ips_under_sla",
     "simulate_batch_queue",
+    "simulate_closed_loop",
     "table4_rows",
 ]

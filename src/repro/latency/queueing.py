@@ -1,4 +1,4 @@
-"""A discrete-event batching-server simulation.
+"""The classic single-server batching-queue simulations.
 
 Requests arrive Poisson; the server collects them into fixed-size batches
 (inference batching) and serves FIFO.  Each batch occupies the server for
@@ -7,15 +7,22 @@ Requests arrive Poisson; the server collects them into fixed-size batches
 host work pipelines with device work (occupancy = max of the two,
 latency = their sum).  Response time = completion - arrival, measured per
 request; p99 is the paper's metric.
+
+Both entry points are thin wrappers over the shared discrete-event
+engine in :mod:`repro.serving` (a one-replica fleet with a fixed batcher
+for the open-loop case; the engine's closed-loop generator for the load
+test).  The general multi-replica/multi-policy simulator lives in
+:mod:`repro.serving.fleet`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.util.stats import percentile
+from repro.serving.batcher import FixedBatcher
+from repro.serving.engine import ConstantCurve, run_closed_loop, summarize
+from repro.serving.fleet import Fleet, Replica
+from repro.serving.traffic import poisson_arrivals
 
 
 @dataclass(frozen=True)
@@ -56,32 +63,20 @@ def simulate_batch_queue(
     latency = occupancy_seconds if latency_seconds is None else latency_seconds
     if latency < occupancy_seconds:
         raise ValueError("latency cannot be shorter than occupancy")
-    rng = np.random.default_rng(seed)
-    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_requests))
 
-    responses = np.empty(n_requests)
-    server_free = 0.0
-    busy_time = 0.0
-    for start_idx in range(0, n_requests, batch_size):
-        end_idx = min(start_idx + batch_size, n_requests)
-        ready = arrivals[end_idx - 1]  # the batch's last arrival
-        start = max(server_free, ready)
-        server_free = start + occupancy_seconds
-        busy_time += occupancy_seconds
-        responses[start_idx:end_idx] = (start + latency) - arrivals[start_idx:end_idx]
-
-    skip = int(n_requests * warmup_fraction)
-    window = responses[skip:]
-    horizon = max(server_free, arrivals[-1])
+    curve = ConstantCurve(occupancy_seconds, latency)
+    fleet = Fleet([Replica(curve, FixedBatcher(batch_size))])
+    result = fleet.run(poisson_arrivals(arrival_rate, n_requests, seed=seed))
+    stats = result.stats(warmup_fraction=warmup_fraction)
     return BatchQueueStats(
         arrival_rate=arrival_rate,
         batch_size=batch_size,
-        completed=n_requests,
-        p99_seconds=percentile(window.tolist(), 99.0),
-        p50_seconds=percentile(window.tolist(), 50.0),
-        mean_seconds=float(np.mean(window)),
-        throughput_ips=n_requests / horizon,
-        server_utilization=min(busy_time / horizon, 1.0),
+        completed=stats.completed,
+        p99_seconds=stats.p99_seconds,
+        p50_seconds=stats.p50_seconds,
+        mean_seconds=stats.mean_seconds,
+        throughput_ips=stats.throughput_rps,
+        server_utilization=stats.utilization,
     )
 
 
@@ -102,32 +97,25 @@ def simulate_closed_loop(
     occupancy) -- the pipeline-depth inflation behind the published
     p99/service ratios.
     """
-    if concurrency < batch_size:
-        raise ValueError(
-            f"concurrency {concurrency} cannot fill batches of {batch_size}"
-        )
     latency = occupancy_seconds if latency_seconds is None else latency_seconds
-    # Requests cycle through a FIFO; track each request's enqueue time.
-    enqueue = [0.0] * concurrency
-    head = 0
-    server_free = 0.0
-    responses = []
-    for _ in range(n_batches):
-        start = max(server_free, 0.0)
-        done = start + latency
-        for _slot in range(batch_size):
-            responses.append(done - enqueue[head])
-            enqueue[head] = done  # the request re-enters the pool
-            head = (head + 1) % concurrency
-        server_free = start + occupancy_seconds
-    window = responses[len(responses) // 4 :]
+    curve = ConstantCurve(occupancy_seconds, latency)
+    responses, server = run_closed_loop(
+        concurrency, batch_size, curve, n_batches=n_batches
+    )
+    stats = summarize(
+        responses,
+        horizon=server.free_at,
+        busy_time=server.busy_time,
+        warmup_fraction=0.25,
+        batches=server.batches,
+    )
     return BatchQueueStats(
         arrival_rate=batch_size / occupancy_seconds,
         batch_size=batch_size,
-        completed=len(responses),
-        p99_seconds=percentile(window, 99.0),
-        p50_seconds=percentile(window, 50.0),
-        mean_seconds=sum(window) / len(window),
+        completed=stats.completed,
+        p99_seconds=stats.p99_seconds,
+        p50_seconds=stats.p50_seconds,
+        mean_seconds=stats.mean_seconds,
         throughput_ips=batch_size / occupancy_seconds,
         server_utilization=1.0,
     )

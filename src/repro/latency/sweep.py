@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.latency.queueing import simulate_batch_queue, simulate_closed_loop
 from repro.nn.graph import Model
 from repro.platforms.base import Platform
-from repro.platforms.tpu import TPUPlatform
+from repro.serving.fleet import occupancy_latency
 
 #: The MLP0 application developer's limit (Table 4).
 MLP0_SLA_SECONDS = 7e-3
@@ -32,14 +32,8 @@ class Table4Row:
     met_sla: bool
 
 
-def _occupancy_latency(platform: Platform, model: Model, batch: int) -> tuple[float, float]:
-    latency = platform.service_seconds(model, batch)
-    if isinstance(platform, TPUPlatform):
-        occupancy = max(
-            platform.device_seconds(model, batch), platform.host_seconds(model, batch)
-        )
-        return occupancy, latency
-    return latency, latency
+# Shared with the fleet simulator: (occupancy, latency) per batch.
+_occupancy_latency = occupancy_latency
 
 
 def max_ips_under_sla(

@@ -65,7 +65,10 @@ def choose_scale(values: np.ndarray, bits: int = 8) -> TensorScale:
     if peak == 0.0:
         peak = 1.0  # any scale represents the all-zero tensor exactly
     _, q_max = quant_range(bits)
-    return TensorScale(scale=peak / q_max, bits=bits)
+    scale = peak / q_max
+    if scale == 0.0:  # subnormal peak underflowed the division
+        scale = float(np.finfo(np.float64).tiny)
+    return TensorScale(scale=scale, bits=bits)
 
 
 def quantize(values: np.ndarray, scale: TensorScale) -> np.ndarray:

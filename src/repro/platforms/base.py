@@ -93,6 +93,14 @@ class Platform(abc.ABC):
     def service_seconds(self, model: Model, batch: int) -> float:
         """Time to serve one batch (including this platform's host share)."""
 
+    def occupancy_seconds(self, model: Model, batch: int) -> float:
+        """How long a batch keeps the server busy (throughput view).
+
+        Equal to :meth:`service_seconds` unless host and device work
+        pipeline (the TPU overrides this with their max, not their sum).
+        """
+        return self.service_seconds(model, batch)
+
     def throughput_ips(self, model: Model, batch: int) -> float:
         """User-visible inferences per second (steps for sequence apps)."""
         steps = model.steps_per_example

@@ -79,12 +79,14 @@ class TPUPlatform(Platform):
         """Response-time view: device and host in series."""
         return self.device_seconds(model, batch) + self.host_seconds(model, batch)
 
-    def throughput_ips(self, model: Model, batch: int) -> float:
+    def occupancy_seconds(self, model: Model, batch: int) -> float:
         """Throughput view: device and host pipelined (max, not sum)."""
-        bottleneck = max(
+        return max(
             self.device_seconds(model, batch), self.host_seconds(model, batch)
         )
-        return batch * model.steps_per_example / bottleneck
+
+    def throughput_ips(self, model: Model, batch: int) -> float:
+        return batch * model.steps_per_example / self.occupancy_seconds(model, batch)
 
     def serving_point(self, model: Model, batch: int | None = None):
         """Serve at the application's Table 1 batch size by default."""
@@ -93,10 +95,7 @@ class TPUPlatform(Platform):
         )
         # Throughput is pipeline-limited, not series-limited.
         ips = self.throughput_ips(model, point.batch)
-        bottleneck = max(
-            self.device_seconds(model, point.batch),
-            self.host_seconds(model, point.batch),
-        )
+        bottleneck = self.occupancy_seconds(model, point.batch)
         return replace(
             point,
             ips=ips,

@@ -1,0 +1,101 @@
+"""Datacenter serving simulation: SLO-bounded batching at fleet scale.
+
+The paper's headline serving result (Table 4) is that the 7 ms
+99th-percentile limit on MLP0 forbids the large batches accelerators
+want: the CPU and GPU are capped near batch 16 (42%/37% of their peak
+throughput) while the TPU's deterministic execution sustains batch 200
+at ~80% of peak.  This package turns that single-server observation into
+an event-driven, multi-device serving simulator:
+
+* :mod:`repro.serving.engine`  -- the discrete-event loop, batch server,
+  and shared response-time statistics;
+* :mod:`repro.serving.batcher` -- dynamic batching policies (fixed,
+  batch-with-timeout, SLO-adaptive from the platform latency curve);
+* :mod:`repro.serving.fleet`   -- N replicated accelerators behind a
+  round-robin or join-shortest-queue router;
+* :mod:`repro.serving.traffic` -- Poisson / trace / diurnal open-loop
+  load generation;
+* :mod:`repro.serving.sweep`   -- load sweeps that emit the
+  p99-vs-throughput operating curve and the max sustainable throughput
+  under an SLO.
+
+Try it: ``python -m repro serve --workload mlp0 --replicas 4 --slo-ms 7``.
+"""
+
+from repro.serving.batcher import (
+    Batcher,
+    FixedBatcher,
+    SLOAdaptiveBatcher,
+    TimeoutBatcher,
+    make_batcher,
+)
+from repro.serving.engine import (
+    BatchServer,
+    ConstantCurve,
+    EventLoop,
+    LatencyCurve,
+    Request,
+    ServingStats,
+    run_closed_loop,
+    summarize,
+)
+from repro.serving.fleet import (
+    Fleet,
+    FleetResult,
+    PlatformCurve,
+    Replica,
+    RoundRobinRouter,
+    ShortestQueueRouter,
+    make_router,
+    occupancy_latency,
+)
+from repro.serving.sweep import (
+    FleetSpec,
+    OperatingPoint,
+    max_throughput_under_slo,
+    run_point,
+    serving_sweep,
+    sweep_table,
+)
+from repro.serving.traffic import (
+    diurnal_arrivals,
+    load_trace,
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "BatchServer",
+    "Batcher",
+    "ConstantCurve",
+    "EventLoop",
+    "FixedBatcher",
+    "Fleet",
+    "FleetResult",
+    "FleetSpec",
+    "LatencyCurve",
+    "OperatingPoint",
+    "PlatformCurve",
+    "Replica",
+    "Request",
+    "RoundRobinRouter",
+    "SLOAdaptiveBatcher",
+    "ServingStats",
+    "ShortestQueueRouter",
+    "TimeoutBatcher",
+    "diurnal_arrivals",
+    "load_trace",
+    "make_batcher",
+    "make_router",
+    "max_throughput_under_slo",
+    "occupancy_latency",
+    "poisson_arrivals",
+    "run_closed_loop",
+    "run_point",
+    "serving_sweep",
+    "summarize",
+    "sweep_table",
+    "trace_arrivals",
+    "uniform_arrivals",
+]

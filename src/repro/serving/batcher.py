@@ -1,0 +1,156 @@
+"""Dynamic batching policies: how a replica turns a queue into batches.
+
+The policy family formalizes the paper's central serving tension: larger
+batches amortize weight traffic (throughput), but a request admitted to a
+batch must wait for the batch to fill *and* for the batch to run, and the
+99th-percentile deadline bounds that sum (Table 4's 7 ms limit caps the
+TPU at batch ~200, 80% of peak).
+
+* :class:`FixedBatcher` -- dispatch only full batches (the legacy
+  ``simulate_batch_queue`` behaviour).
+* :class:`TimeoutBatcher` -- dispatch a full batch, or whatever has
+  accumulated once the oldest request has waited ``timeout_seconds``.
+* :class:`SLOAdaptiveBatcher` -- pick the largest batch whose predicted
+  response still fits the deadline, using the platform's batch latency
+  curve; dispatch early when the oldest request's slack runs out.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+from repro.platforms.base import BATCH_CANDIDATES
+from repro.serving.engine import LatencyCurve
+
+
+class Batcher(abc.ABC):
+    """Decides, given the queue state, whether to launch a batch now.
+
+    ``max_batch`` is the policy's largest admissible batch; the fleet
+    uses it to size drain batches and to express offered load as a
+    fraction of capacity.
+    """
+
+    max_batch: int
+
+    @abc.abstractmethod
+    def dispatch_size(self, queue_len: int, oldest_age: float) -> int:
+        """How many queued requests to dispatch now (0 = keep waiting)."""
+
+    def wait_deadline(self, queue_len: int, oldest_arrival: float) -> float | None:
+        """Absolute time at which waiting must end (None = wait forever)."""
+        return None
+
+
+class FixedBatcher(Batcher):
+    """Dispatch exactly ``batch_size`` requests, never a partial batch."""
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.max_batch = batch_size
+
+    def dispatch_size(self, queue_len: int, oldest_age: float) -> int:
+        return self.max_batch if queue_len >= self.max_batch else 0
+
+
+class TimeoutBatcher(Batcher):
+    """Batch-with-timeout: full batch, or partial after ``timeout_seconds``."""
+
+    def __init__(self, batch_size: int, timeout_seconds: float) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if timeout_seconds < 0:
+            raise ValueError(f"timeout must be non-negative, got {timeout_seconds}")
+        self.max_batch = batch_size
+        self.timeout_seconds = timeout_seconds
+
+    def dispatch_size(self, queue_len: int, oldest_age: float) -> int:
+        if queue_len >= self.max_batch:
+            return self.max_batch
+        if queue_len > 0 and oldest_age >= self.timeout_seconds:
+            return queue_len
+        return 0
+
+    def wait_deadline(self, queue_len: int, oldest_arrival: float) -> float | None:
+        return oldest_arrival + self.timeout_seconds if queue_len else None
+
+
+class SLOAdaptiveBatcher(Batcher):
+    """Deadline-aware batching from a per-platform batch latency curve.
+
+    The target batch is the largest candidate whose batch latency uses at
+    most ``service_share`` of the SLO (the rest of the budget absorbs
+    collection and queueing).  A partial batch is launched as soon as the
+    oldest request could no longer make the deadline by waiting -- i.e.
+    when ``oldest_age + latency(queue_len) >= slo_margin * slo_seconds``
+    is imminent (the margin keeps responses strictly inside the SLO).
+    At low load every response therefore lands inside the SLO; at
+    overload the queue itself blows the budget, which is the physics the
+    paper's Table 4 rows at 100% max IPS exhibit.
+    """
+
+    def __init__(
+        self,
+        slo_seconds: float,
+        curve: LatencyCurve,
+        candidates: Sequence[int] = BATCH_CANDIDATES,
+        service_share: float = 0.5,
+        slo_margin: float = 0.95,
+    ) -> None:
+        if slo_seconds <= 0:
+            raise ValueError(f"slo_seconds must be positive, got {slo_seconds}")
+        if not 0 < service_share <= 1:
+            raise ValueError(f"service_share must be in (0, 1], got {service_share}")
+        if not 0 < slo_margin <= 1:
+            raise ValueError(f"slo_margin must be in (0, 1], got {slo_margin}")
+        self.slo_seconds = slo_seconds
+        self.slo_margin = slo_margin
+        self.curve = curve
+        budget = slo_seconds * service_share
+        fitting = [b for b in sorted(candidates) if curve.latency(b) <= budget]
+        # Even when nothing fits (the paper's CPU LSTM case), the service
+        # still has to run: serve singletons and miss.
+        self.max_batch = fitting[-1] if fitting else min(candidates)
+
+    def _wait_budget(self, queue_len: int) -> float:
+        # The margin keeps dispatches strictly inside the deadline, so
+        # queueing jitter doesn't flip p99 across the SLO boundary.
+        budget = self.slo_seconds * self.slo_margin
+        return max(budget - self.curve.latency(max(queue_len, 1)), 0.0)
+
+    def dispatch_size(self, queue_len: int, oldest_age: float) -> int:
+        if queue_len >= self.max_batch:
+            return self.max_batch
+        if queue_len > 0 and oldest_age >= self._wait_budget(queue_len):
+            return queue_len
+        return 0
+
+    def wait_deadline(self, queue_len: int, oldest_arrival: float) -> float | None:
+        if not queue_len:
+            return None
+        return oldest_arrival + self._wait_budget(queue_len)
+
+
+def make_batcher(
+    policy: str,
+    curve: LatencyCurve,
+    slo_seconds: float,
+    batch_size: int | None = None,
+    timeout_seconds: float | None = None,
+    candidates: Sequence[int] = BATCH_CANDIDATES,
+) -> Batcher:
+    """Batcher factory used by the CLI and the sweep harness."""
+    if policy == "fixed":
+        if batch_size is None:
+            raise ValueError("fixed policy requires batch_size")
+        return FixedBatcher(batch_size)
+    if policy == "timeout":
+        if batch_size is None:
+            raise ValueError("timeout policy requires batch_size")
+        timeout = slo_seconds / 2 if timeout_seconds is None else timeout_seconds
+        return TimeoutBatcher(batch_size, timeout)
+    if policy == "adaptive":
+        return SLOAdaptiveBatcher(slo_seconds, curve, candidates=candidates)
+    raise ValueError(f"unknown batching policy {policy!r}")

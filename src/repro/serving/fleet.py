@@ -1,0 +1,273 @@
+"""A fleet of batching accelerator replicas behind a router.
+
+``Fleet`` runs the open-loop simulation on the shared event engine:
+requests arrive (Poisson or trace), the router assigns each to a
+replica, the replica's batching policy decides when to launch, and the
+replica's latency curve (platform-derived or constant) says how long the
+batch occupies the device and when responses return.  One event loop
+drives every replica, so cross-replica effects (load imbalance, JSQ
+draining hotspots) are simulated, not approximated.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.graph import Model
+from repro.platforms.base import BATCH_CANDIDATES, Platform
+from repro.serving.batcher import Batcher
+from repro.serving.engine import (
+    BatchServer,
+    EventLoop,
+    LatencyCurve,
+    Request,
+    ServingStats,
+    summarize,
+)
+
+
+def occupancy_latency(platform: Platform, model: Model, batch: int) -> tuple[float, float]:
+    """(occupancy, response latency) per batch on a platform.
+
+    Occupancy is how long the device is unavailable; latency is when the
+    responses come back.  They differ on the TPU, where the host share
+    pipelines with device execution.
+    """
+    return (
+        platform.occupancy_seconds(model, batch),
+        platform.service_seconds(model, batch),
+    )
+
+
+class PlatformCurve(LatencyCurve):
+    """Batch latency curve measured from a platform model.
+
+    Exact platform evaluations are expensive on the TPU (each new batch
+    size compiles and profiles a model variant), but a running simulation
+    asks about arbitrary partial-batch sizes.  So the curve is exact at a
+    grid of anchor batch sizes (evaluated lazily, memoized) and
+    piecewise-linear in between -- a good fit, since batch time is close
+    to ``fixed overhead + per-example cost`` on every platform.  Batches
+    beyond the largest anchor extrapolate from the last segment.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        model: Model,
+        anchors: Sequence[int] = BATCH_CANDIDATES,
+    ) -> None:
+        self.platform = platform
+        self.model = model
+        self.anchors = sorted(set(anchors) | {1})
+        if len(self.anchors) < 2:
+            raise ValueError("PlatformCurve needs at least two distinct anchors")
+        self._cache: dict[int, tuple[float, float]] = {}
+
+    def _exact(self, batch: int) -> tuple[float, float]:
+        cached = self._cache.get(batch)
+        if cached is None:
+            cached = occupancy_latency(self.platform, self.model, batch)
+            self._cache[batch] = cached
+        return cached
+
+    def _point(self, batch: int) -> tuple[float, float]:
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        pos = bisect_left(self.anchors, batch)
+        if pos < len(self.anchors) and self.anchors[pos] == batch:
+            return self._exact(batch)
+        if pos >= len(self.anchors):  # extrapolate past the grid
+            lo, hi = self.anchors[-2], self.anchors[-1]
+        else:
+            lo, hi = self.anchors[pos - 1], self.anchors[pos]
+        (occ_lo, lat_lo), (occ_hi, lat_hi) = self._exact(lo), self._exact(hi)
+        frac = (batch - lo) / (hi - lo)
+        return (
+            occ_lo + frac * (occ_hi - occ_lo),
+            lat_lo + frac * (lat_hi - lat_lo),
+        )
+
+    def occupancy(self, batch: int) -> float:
+        return self._point(batch)[0]
+
+    def latency(self, batch: int) -> float:
+        return self._point(batch)[1]
+
+
+class Replica:
+    """One accelerator behind its own queue and batching policy."""
+
+    def __init__(self, curve: LatencyCurve, batcher: Batcher, name: str = "") -> None:
+        self.name = name
+        self.server = BatchServer(curve)
+        self.batcher = batcher
+        self.queue: deque[Request] = deque()
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+
+class Router:
+    """Assigns each arriving request to a replica."""
+
+    def pick(self, replicas: list[Replica], now: float) -> Replica:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, replicas: list[Replica], now: float) -> Replica:
+        replica = replicas[self._next % len(replicas)]
+        self._next += 1
+        return replica
+
+
+class ShortestQueueRouter(Router):
+    """Join-shortest-queue: fewest waiting requests, busy server breaks ties."""
+
+    def pick(self, replicas: list[Replica], now: float) -> Replica:
+        best = min(
+            range(len(replicas)),
+            key=lambda i: (
+                replicas[i].backlog,
+                0 if replicas[i].server.idle_at(now) else 1,
+                i,
+            ),
+        )
+        return replicas[best]
+
+
+ROUTERS = {
+    "round_robin": RoundRobinRouter,
+    "jsq": ShortestQueueRouter,
+}
+
+
+def make_router(name: str) -> Router:
+    try:
+        return ROUTERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; try one of {sorted(ROUTERS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Raw simulation output plus per-replica accounting."""
+
+    responses: np.ndarray  # per-served-request response time, request order
+    horizon: float
+    busy_time: float
+    served_per_replica: tuple[int, ...]
+    batches_per_replica: tuple[int, ...]
+    unserved: int = 0  # requests still queued at the end (drain=False)
+
+    def stats(
+        self,
+        warmup_fraction: float = 0.1,
+        slo_seconds: float | None = None,
+    ) -> ServingStats:
+        return summarize(
+            self.responses,
+            horizon=self.horizon,
+            busy_time=self.busy_time,
+            n_servers=len(self.served_per_replica),
+            warmup_fraction=warmup_fraction,
+            slo_seconds=slo_seconds,
+            batches=sum(self.batches_per_replica),
+        )
+
+
+class Fleet:
+    """N replicas, one router, one discrete-event loop."""
+
+    def __init__(self, replicas: list[Replica], router: Router | str = "round_robin") -> None:
+        if not replicas:
+            raise ValueError("a fleet needs at least one replica")
+        self.replicas = replicas
+        self.router = make_router(router) if isinstance(router, str) else router
+
+    def run(self, arrivals: np.ndarray, drain: bool = True) -> FleetResult:
+        """Simulate the fleet over an arrival-time vector.
+
+        With ``drain=True`` (default) partial batches left at the end of
+        the trace are served, so every request completes.  With
+        ``drain=False`` requests a non-draining policy (e.g. a fixed
+        batcher with a partial final batch) never launches are reported
+        via ``FleetResult.unserved`` and excluded from the statistics.
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ValueError("arrivals must be non-empty")
+        loop = EventLoop()
+        responses = np.full(arrivals.size, np.nan)
+        pending = arrivals.size  # arrivals not yet processed
+
+        def poll(replica: Replica) -> None:
+            """Launch a batch on ``replica`` if its policy says so."""
+            now = loop.now
+            if not replica.queue or not replica.server.idle_at(now):
+                return
+            oldest = replica.queue[0].arrival
+            n = replica.batcher.dispatch_size(len(replica.queue), now - oldest)
+            if n == 0:
+                # Compare absolute deadlines, not ages: recomputing the
+                # deadline reproduces the exact float a timer fired at,
+                # where age arithmetic can round just below the budget
+                # and spin the loop at zero delay.
+                deadline = replica.batcher.wait_deadline(len(replica.queue), oldest)
+                if deadline is not None and deadline <= now:
+                    n = min(len(replica.queue), replica.batcher.max_batch)
+                elif pending == 0 and drain:
+                    # End of trace: serve the leftover partial batch.
+                    n = min(len(replica.queue), replica.batcher.max_batch)
+                elif deadline is not None:
+                    loop.schedule(deadline, lambda _t: poll(replica))
+            if n > 0:
+                batch = [replica.queue.popleft() for _ in range(n)]
+                done = replica.server.start_batch(now, n)
+                for request in batch:
+                    responses[request.index] = done - request.arrival
+                loop.schedule(replica.server.free_at, lambda _t: poll(replica))
+
+        def on_arrival(request: Request) -> None:
+            nonlocal pending
+            pending -= 1
+            replica = self.router.pick(self.replicas, loop.now)
+            replica.queue.append(request)
+            poll(replica)
+            if pending == 0:
+                # End of trace: drain idle replicas with partial queues
+                # (busy ones drain when their free event polls them).
+                for other in self.replicas:
+                    if other is not replica:
+                        poll(other)
+
+        for index, when in enumerate(arrivals):
+            request = Request(index=index, arrival=float(when))
+            loop.schedule(float(when), lambda _t, r=request: on_arrival(r))
+        loop.run()
+
+        unserved_mask = np.isnan(responses)
+        unserved = int(np.count_nonzero(unserved_mask))
+        if unserved and drain:
+            raise RuntimeError("simulation ended with unserved requests")
+        horizon = max(max(r.server.free_at for r in self.replicas), float(arrivals[-1]))
+        return FleetResult(
+            responses=responses[~unserved_mask] if unserved else responses,
+            horizon=horizon,
+            busy_time=sum(r.server.busy_time for r in self.replicas),
+            served_per_replica=tuple(r.server.served for r in self.replicas),
+            batches_per_replica=tuple(r.server.batches for r in self.replicas),
+            unserved=unserved,
+        )

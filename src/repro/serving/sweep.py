@@ -1,0 +1,156 @@
+"""Load sweeps: p99-vs-throughput operating curves for a fleet.
+
+Generalizes Table 4 from "one device, one batch size" to "N replicas,
+any batching policy": sweep offered load from light to near-capacity,
+record achieved throughput and tail latency at each point, and report
+the largest sustainable throughput whose p99 still fits the SLO -- the
+number a capacity planner actually provisions against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.nn.graph import Model
+from repro.platforms.base import Platform
+from repro.serving.batcher import make_batcher
+from repro.serving.fleet import Fleet, FleetResult, PlatformCurve, Replica
+from repro.serving.traffic import poisson_arrivals
+from repro.util.tables import TextTable
+
+#: Default offered-load points, as fractions of fleet batch capacity.
+DEFAULT_LOAD_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 0.9, 0.95)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (offered load, fleet) measurement on the operating curve."""
+
+    offered_rps: float
+    load_fraction: float
+    throughput_rps: float
+    p50_seconds: float
+    p99_seconds: float
+    utilization: float
+    mean_batch: float
+    slo_miss_fraction: float
+    meets_slo: bool
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything needed to instantiate a fleet and price its capacity."""
+
+    platform: Platform
+    model: Model
+    replicas: int = 1
+    policy: str = "adaptive"
+    slo_seconds: float = 7e-3
+    batch_size: int | None = None
+    timeout_seconds: float | None = None
+    router: str = "round_robin"
+
+    @cached_property
+    def curve(self) -> PlatformCurve:
+        # One memoized curve per spec: TPU batch variants compile once
+        # across the whole sweep, not once per operating point.
+        return PlatformCurve(self.platform, self.model)
+
+    def _batcher(self):
+        return make_batcher(
+            self.policy,
+            self.curve,
+            slo_seconds=self.slo_seconds,
+            batch_size=self.batch_size,
+            timeout_seconds=self.timeout_seconds,
+        )
+
+    def build(self) -> Fleet:
+        replicas = [
+            Replica(self.curve, self._batcher(), name=f"{self.platform.kind}{i}")
+            for i in range(self.replicas)
+        ]
+        return Fleet(replicas, router=self.router)
+
+    def max_batch(self) -> int:
+        """The policy's largest admissible batch on this platform."""
+        return self._batcher().max_batch
+
+    def capacity_rps(self) -> float:
+        """Aggregate request rate at 100% utilization and full batches."""
+        batch = self.max_batch()
+        return self.replicas * batch / self.curve.occupancy(batch)
+
+
+def run_point(
+    spec: FleetSpec,
+    load_fraction: float,
+    n_requests: int = 20000,
+    seed: int = 0,
+) -> tuple[OperatingPoint, FleetResult]:
+    """Simulate one offered load (a fraction of fleet capacity)."""
+    if load_fraction <= 0:
+        raise ValueError(f"load_fraction must be positive, got {load_fraction}")
+    offered = spec.capacity_rps() * load_fraction
+    fleet = spec.build()
+    result = fleet.run(poisson_arrivals(offered, n_requests, seed=seed))
+    stats = result.stats(slo_seconds=spec.slo_seconds)
+    point = OperatingPoint(
+        offered_rps=offered,
+        load_fraction=load_fraction,
+        throughput_rps=stats.throughput_rps,
+        p50_seconds=stats.p50_seconds,
+        p99_seconds=stats.p99_seconds,
+        utilization=stats.utilization,
+        mean_batch=stats.mean_batch,
+        slo_miss_fraction=stats.slo_miss_fraction,
+        meets_slo=stats.p99_seconds <= spec.slo_seconds,
+    )
+    return point, result
+
+
+def serving_sweep(
+    spec: FleetSpec,
+    load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
+    n_requests: int = 20000,
+    seed: int = 0,
+) -> list[OperatingPoint]:
+    """The p99-vs-throughput operating curve across a load sweep."""
+    return [
+        run_point(spec, fraction, n_requests=n_requests, seed=seed)[0]
+        for fraction in load_fractions
+    ]
+
+
+def max_throughput_under_slo(points: list[OperatingPoint]) -> OperatingPoint | None:
+    """The highest-throughput operating point that still meets the SLO."""
+    feasible = [p for p in points if p.meets_slo]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: p.throughput_rps)
+
+
+def sweep_table(spec: FleetSpec, points: list[OperatingPoint], title: str = "") -> TextTable:
+    """Render an operating curve the way the paper renders Table 4."""
+    slo_ms = spec.slo_seconds * 1e3
+    table = TextTable(
+        ["Load", "Offered/s", "Achieved/s", "p50", "p99", "Util",
+         "Mean batch", f"p99<={slo_ms:g}ms?"],
+        title=title or (
+            f"{spec.platform.name} x{spec.replicas} ({spec.policy} batching, "
+            f"{spec.router}) -- {spec.model.name}, SLO {slo_ms:g} ms"
+        ),
+    )
+    for p in points:
+        table.add_row([
+            f"{p.load_fraction:.0%}",
+            f"{p.offered_rps:,.0f}",
+            f"{p.throughput_rps:,.0f}",
+            f"{p.p50_seconds * 1e3:.2f} ms",
+            f"{p.p99_seconds * 1e3:.2f} ms",
+            f"{p.utilization:.0%}",
+            f"{p.mean_batch:.0f}",
+            "yes" if p.meets_slo else "NO",
+        ])
+    return table

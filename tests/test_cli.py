@@ -37,3 +37,29 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_serve_sweep(self, capsys):
+        assert main([
+            "serve", "--workload", "mlp0", "--replicas", "2",
+            "--slo-ms", "7", "--requests", "2000", "--loads", "0.4,0.9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "SLO" in out
+
+    def test_serve_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "resnet"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_serve_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("".join(f"{i * 1e-3}\n" for i in range(200)))
+        assert main([
+            "serve", "--workload", "mlp0", "--platform", "cpu",
+            "--trace", str(trace),
+        ]) == 0
+        assert "p99" in capsys.readouterr().out
+
+    def test_serve_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "serve" in capsys.readouterr().out

@@ -1,0 +1,292 @@
+"""Fleet serving simulator tests: batchers, routers, traffic, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.latency.queueing import simulate_batch_queue
+from repro.serving.batcher import (
+    FixedBatcher,
+    SLOAdaptiveBatcher,
+    TimeoutBatcher,
+    make_batcher,
+)
+from repro.serving.engine import ConstantCurve, EventLoop, summarize
+from repro.serving.fleet import Fleet, PlatformCurve, Replica, make_router
+from repro.serving.sweep import (
+    FleetSpec,
+    max_throughput_under_slo,
+    run_point,
+    serving_sweep,
+)
+from repro.serving.traffic import (
+    diurnal_arrivals,
+    load_trace,
+    poisson_arrivals,
+    trace_arrivals,
+    uniform_arrivals,
+)
+
+SERVICE = 2e-3  # 2 ms per batch, any size
+
+
+def single_replica(batcher, occupancy=SERVICE, latency=None):
+    return Fleet([Replica(ConstantCurve(occupancy, latency), batcher)])
+
+
+class TestEventLoop:
+    def test_orders_by_time_then_insertion(self):
+        seen = []
+        loop = EventLoop()
+        loop.schedule(2.0, lambda t: seen.append("late"))
+        loop.schedule(1.0, lambda t: seen.append("a"))
+        loop.schedule(1.0, lambda t: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b", "late"]
+
+    def test_rejects_past_events(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda t: loop.schedule(0.5, lambda _t: None))
+        with pytest.raises(ValueError):
+            loop.run()
+
+
+class TestClosedFormParity:
+    """A one-replica fixed-batch fleet IS simulate_batch_queue."""
+
+    def test_matches_simulate_batch_queue(self):
+        rate, batch, n = 1000.0, 16, 4000
+        legacy = simulate_batch_queue(rate, batch, SERVICE, n_requests=n, seed=3)
+        fleet = single_replica(FixedBatcher(batch))
+        result = fleet.run(poisson_arrivals(rate, n, seed=3))
+        stats = result.stats()
+        assert stats.p99_seconds == pytest.approx(legacy.p99_seconds, rel=1e-12)
+        assert stats.p50_seconds == pytest.approx(legacy.p50_seconds, rel=1e-12)
+        assert stats.throughput_rps == pytest.approx(legacy.throughput_ips, rel=1e-12)
+        assert stats.utilization == pytest.approx(legacy.server_utilization, rel=1e-12)
+
+    def test_drain_false_reports_unserved(self):
+        # A fixed batcher never launches the partial tail; without
+        # draining those requests are counted, not crashed on.
+        fleet = single_replica(FixedBatcher(16))
+        result = fleet.run(poisson_arrivals(1000.0, 100, seed=3), drain=False)
+        assert result.unserved == 100 % 16
+        assert result.responses.size == 100 - result.unserved
+
+    def test_deterministic_uniform_load(self):
+        # Requests every 1 ms, batch 4, 2 ms service: batch k collects
+        # until arrival 4k ms, runs 2 ms; first request waits 3+2 ms.
+        fleet = single_replica(FixedBatcher(4))
+        result = fleet.run(uniform_arrivals(1000.0, 8))
+        assert result.responses[0] == pytest.approx(5e-3)
+        assert result.responses[3] == pytest.approx(2e-3)
+
+
+class TestBatchers:
+    def test_timeout_fires_on_partial_batch(self):
+        # Load far too low to fill batch 16: every batch is partial and
+        # launches exactly at the timeout.
+        timeout = 5e-3
+        fleet = single_replica(TimeoutBatcher(16, timeout))
+        result = fleet.run(poisson_arrivals(100.0, 2000, seed=1), drain=False)
+        stats = result.stats(warmup_fraction=0.0)
+        assert stats.mean_batch < 16
+        assert stats.p99_seconds <= timeout + SERVICE + 1e-9
+        # Oldest request in each batch waits the full timeout.
+        assert np.max(result.responses) == pytest.approx(timeout + SERVICE, rel=1e-9)
+
+    def test_timeout_zero_serves_immediately(self):
+        fleet = single_replica(TimeoutBatcher(16, 0.0))
+        result = fleet.run(poisson_arrivals(50.0, 500, seed=2))
+        assert result.stats(warmup_fraction=0.0).p99_seconds <= 2 * SERVICE + 1e-9
+
+    def test_slo_adaptive_never_misses_at_low_load(self):
+        slo = 7e-3
+        curve = ConstantCurve(SERVICE)
+        fleet = Fleet([Replica(curve, SLOAdaptiveBatcher(slo, curve))])
+        result = fleet.run(poisson_arrivals(200.0, 3000, seed=4), drain=False)
+        assert float(np.max(result.responses)) <= slo + 1e-9
+
+    def test_slo_adaptive_batches_grow_with_load(self):
+        slo = 7e-3
+        curve = ConstantCurve(SERVICE)
+
+        def mean_batch(rate):
+            fleet = Fleet([Replica(curve, SLOAdaptiveBatcher(slo, curve))])
+            return fleet.run(poisson_arrivals(rate, 3000, seed=5)).stats().mean_batch
+
+        assert mean_batch(20000.0) > mean_batch(500.0)
+
+    def test_slo_adaptive_target_batch_from_curve(self):
+        # Latency grows with batch: 1 ms + 0.05 ms/example; with a 7 ms
+        # SLO and half the budget for service, the largest candidate
+        # under 3.5 ms is batch 32 (2.6 ms); batch 64 needs 4.2 ms.
+        class Linear(ConstantCurve):
+            def latency(self, batch):
+                return 1e-3 + 5e-5 * batch
+
+        curve = Linear(1e-3)
+        batcher = SLOAdaptiveBatcher(7e-3, curve)
+        assert batcher.max_batch == 32
+
+    def test_make_batcher_validation(self):
+        curve = ConstantCurve(SERVICE)
+        with pytest.raises(ValueError):
+            make_batcher("fixed", curve, slo_seconds=7e-3)  # no batch size
+        with pytest.raises(ValueError):
+            make_batcher("nope", curve, slo_seconds=7e-3)
+        assert make_batcher("timeout", curve, 7e-3, batch_size=8).max_batch == 8
+
+
+class TestRouters:
+    def test_round_robin_fairness(self):
+        curve = ConstantCurve(SERVICE)
+        fleet = Fleet(
+            [Replica(curve, FixedBatcher(8)) for _ in range(4)],
+            router="round_robin",
+        )
+        result = fleet.run(poisson_arrivals(4000.0, 8000, seed=6))
+        served = result.served_per_replica
+        assert sum(served) == 8000
+        assert max(served) - min(served) <= 8  # one batch of slack
+
+    def test_jsq_balances_load(self):
+        # JSQ needs a batcher whose partial queues drain (fixed-only
+        # batching starves replicas stuck below a full batch).
+        curve = ConstantCurve(SERVICE)
+        fleet = Fleet(
+            [Replica(curve, TimeoutBatcher(8, 5e-3)) for _ in range(4)],
+            router="jsq",
+        )
+        result = fleet.run(poisson_arrivals(4000.0, 8000, seed=7))
+        served = result.served_per_replica
+        assert sum(served) == 8000
+        assert min(served) > 0.7 * 8000 / 4
+
+    def test_fleet_scales_throughput(self):
+        def capacity(n_replicas):
+            curve = ConstantCurve(SERVICE)
+            fleet = Fleet(
+                [Replica(curve, FixedBatcher(16)) for _ in range(n_replicas)]
+            )
+            # Far beyond one server's capacity (8000/s per replica).
+            result = fleet.run(poisson_arrivals(30000.0, 12000, seed=8))
+            return result.stats().throughput_rps
+
+        assert capacity(4) > 3.2 * capacity(1)
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError):
+            make_router("central-scheduler")
+
+
+class TestTraffic:
+    def test_poisson_reproducible_and_sorted(self):
+        a = poisson_arrivals(100.0, 500, seed=9)
+        b = poisson_arrivals(100.0, 500, seed=9)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) >= 0)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            trace_arrivals([])
+        with pytest.raises(ValueError):
+            trace_arrivals([2.0, 1.0])
+        assert trace_arrivals([0.0, 1.0, 1.0]).size == 3
+
+    def test_trace_normalizes_origin(self):
+        # Epoch-style timestamps must not inflate the horizon (they
+        # would report ~0 throughput and utilization).
+        times = trace_arrivals([1.7e9, 1.7e9 + 0.5, 1.7e9 + 1.0])
+        assert times.tolist() == [0.0, 0.5, 1.0]
+
+    def test_diurnal_mean_rate(self):
+        times = diurnal_arrivals(1000.0, 0.5, period_seconds=1.0,
+                                 n_requests=4000, seed=10)
+        realized = times.size / times[-1]
+        assert realized == pytest.approx(1000.0, rel=0.15)
+
+    def test_load_trace_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# comment\n0.0\n0.5\n\n1.5  # inline\n")
+        times = load_trace(str(path))
+        assert times.tolist() == [0.0, 0.5, 1.5]
+
+
+class TestSummarize:
+    def test_matches_numpy_percentile(self):
+        responses = np.linspace(1e-3, 1e-1, 1000)
+        stats = summarize(responses, horizon=1.0, busy_time=0.5,
+                          warmup_fraction=0.0, slo_seconds=5e-2)
+        assert stats.p99_seconds == pytest.approx(np.percentile(responses, 99))
+        assert stats.slo_miss_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]), horizon=1.0, busy_time=0.0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def spec(self, workloads):
+        from repro.analysis.common import platforms
+
+        return FleetSpec(
+            platform=platforms()["tpu"], model=workloads["mlp0"],
+            replicas=2, policy="adaptive", slo_seconds=7e-3, router="jsq",
+        )
+
+    def test_operating_curve_and_best_point(self, spec):
+        points = serving_sweep(spec, (0.4, 0.9), n_requests=4000)
+        assert len(points) == 2
+        best = max_throughput_under_slo(points)
+        assert best is not None and best.meets_slo
+        assert all(p.throughput_rps > 0 for p in points)
+
+    def test_tpu_adaptive_batch_is_large(self, spec):
+        # The paper's Table 4 point: deterministic execution keeps large
+        # batches (≈200+) inside the 7 ms budget.
+        assert spec.max_batch() >= 200
+
+    def test_tight_slo_starves_batch(self, workloads):
+        from repro.analysis.common import platforms
+
+        tight = FleetSpec(
+            platform=platforms()["cpu"], model=workloads["mlp0"],
+            replicas=1, policy="adaptive", slo_seconds=7e-3,
+        )
+        loose = FleetSpec(
+            platform=platforms()["cpu"], model=workloads["mlp0"],
+            replicas=1, policy="adaptive", slo_seconds=100e-3,
+        )
+        assert tight.max_batch() < loose.max_batch()
+
+    def test_run_point_validates_load(self, spec):
+        with pytest.raises(ValueError):
+            run_point(spec, 0.0)
+
+
+class TestPlatformCurve:
+    def test_interpolates_between_anchors(self, workloads):
+        from repro.analysis.common import platforms
+
+        curve = PlatformCurve(platforms()["cpu"], workloads["mlp0"])
+        lat_lo, lat_hi = curve.latency(16), curve.latency(32)
+        mid = curve.latency(24)
+        assert min(lat_lo, lat_hi) <= mid <= max(lat_lo, lat_hi)
+
+    def test_exact_at_anchor(self, workloads):
+        from repro.analysis.common import platforms
+        from repro.serving.fleet import occupancy_latency
+
+        platform = platforms()["cpu"]
+        curve = PlatformCurve(platform, workloads["mlp0"])
+        occ, lat = occupancy_latency(platform, workloads["mlp0"], 64)
+        assert curve.occupancy(64) == pytest.approx(occ)
+        assert curve.latency(64) == pytest.approx(lat)
+
+    def test_rejects_nonpositive_batch(self, workloads):
+        from repro.analysis.common import platforms
+
+        curve = PlatformCurve(platforms()["cpu"], workloads["mlp0"])
+        with pytest.raises(ValueError):
+            curve.latency(0)
