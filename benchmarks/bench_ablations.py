@@ -10,7 +10,6 @@ through the same simulator/model that regenerates the paper's results:
 * host-overhead sensitivity (the Table 4 footnote).
 """
 
-import pytest
 
 from repro.compiler.allocator import StaticPartitionAllocator
 from repro.compiler.driver import TPUDriver

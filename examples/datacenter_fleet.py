@@ -3,13 +3,24 @@
 
 The paper's Section 5-6 argument in one script: compare whole servers on
 performance per provisioned Watt (the TCO proxy), then look at what each
-platform burns at partial load -- where real datacenters live.  The last
-section drives a replicated TPU fleet with the event-driven serving
-simulator (:mod:`repro.serving`): SLO-adaptive batching behind a
+platform burns at partial load -- where real datacenters live.  Next, a
+replicated TPU fleet runs on the event-driven serving simulator
+(:mod:`repro.serving`): SLO-adaptive batching behind a
 join-shortest-queue router, swept from light load to near-capacity.
+The closing section hands the same machinery to
+:mod:`repro.datacenter`: provision the cheapest SLO-feasible fleet per
+platform under diurnal traffic, integrate its busy/idle timeline
+through the Figure 10 power curves, and race autoscaling policies.
 """
 
 from repro.analysis.common import platforms, workloads
+from repro.analysis.datacenter import (
+    StudyConfig,
+    autoscaler_table,
+    provisioning_table,
+    run_study,
+    study_summary,
+)
 from repro.power.perfwatt import figure9_bars, server_scale_study
 from repro.power.proportionality import figure10_series
 from repro.serving import FleetSpec, max_throughput_under_slo, serving_sweep, sweep_table
@@ -67,6 +78,18 @@ def main() -> None:
     )
 
     serving_section(models, plats)
+    planning_section()
+
+
+def planning_section() -> None:
+    """Close the loop: provision, autoscale, and price the same fleet."""
+    print("\nEnergy-aware capacity planning (repro.datacenter):")
+    result = run_study(StudyConfig(n_requests=6000, max_replicas=12))
+    print(provisioning_table(result).render())
+    print()
+    print(autoscaler_table(result).render())
+    print()
+    print(study_summary(result))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@ Commands:
 * ``serve``             -- run the fleet serving simulator: sweep offered
   load on N replicas under a p99 SLO and print the p99-vs-throughput
   operating curve (the Table 4 mechanism, generalized);
+* ``datacenter``        -- energy-aware capacity planning: provision the
+  cheapest SLO-feasible fleet per platform under diurnal traffic, price
+  it (Watts, joules/request, $/Mreq), and race autoscaling policies;
 * ``list``              -- list workloads and experiment ids.
 """
 
@@ -78,6 +81,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.serving import (
         FleetSpec,
         load_trace,
+        make_traffic,
         max_throughput_under_slo,
         run_point,
         sweep_table,
@@ -117,11 +121,26 @@ def _run_serve(args: argparse.Namespace) -> int:
               f"util {stats.utilization:.0%}  "
               f"SLO misses {stats.slo_miss_fraction:.1%}")
         return 0
+    traffic = make_traffic(
+        args.traffic,
+        swing=args.diurnal_swing,
+        period_seconds=args.diurnal_period_s,
+    )
     fractions = tuple(float(f) for f in args.loads.split(","))
     points = [
-        run_point(spec, fraction, n_requests=args.requests, seed=args.seed)[0]
+        run_point(
+            spec, fraction, n_requests=args.requests, seed=args.seed,
+            traffic=traffic,
+        )[0]
         for fraction in fractions
     ]
+    if args.traffic == "diurnal":
+        period = (
+            f"{args.diurnal_period_s:g} s" if args.diurnal_period_s is not None
+            else "one cycle per run"
+        )
+        print(f"(traffic: diurnal, swing {args.diurnal_swing:+.0%}, "
+              f"period {period})")
     print(sweep_table(spec, points).render())
     best = max_throughput_under_slo(points)
     if best is None:
@@ -131,6 +150,62 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"\nmax sustainable throughput under the {args.slo_ms:g} ms SLO: "
               f"{best.throughput_rps:,.0f}/s at {best.load_fraction:.0%} load "
               f"(p99 {best.p99_seconds * 1e3:.2f} ms)")
+    return 0
+
+
+def _cmd_datacenter(args: argparse.Namespace) -> int:
+    try:
+        return _run_datacenter(args)
+    except ValueError as exc:
+        print(f"datacenter: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_datacenter(args: argparse.Namespace) -> int:
+    from repro.analysis.datacenter import (
+        StudyConfig,
+        autoscaler_table,
+        provisioning_table,
+        run_study,
+        study_summary,
+    )
+    from repro.datacenter.tco import CostModel
+    from repro.nn.workloads import WORKLOAD_BUILDERS
+
+    if args.workload not in WORKLOAD_BUILDERS:
+        print(f"unknown workload {args.workload!r}; try: "
+              + ", ".join(WORKLOAD_BUILDERS), file=sys.stderr)
+        return 2
+    kinds = tuple(k.strip() for k in args.platforms.split(",") if k.strip())
+    unknown = [k for k in kinds if k not in ("cpu", "gpu", "tpu")]
+    if not kinds or unknown:
+        print(f"platforms must be a subset of cpu,gpu,tpu, got {args.platforms!r}",
+              file=sys.stderr)
+        return 2
+    config = StudyConfig(
+        workload=args.workload,
+        slo_seconds=args.slo_ms * 1e-3,
+        mean_rate=args.rate,
+        swing=args.swing,
+        n_requests=args.requests,
+        seed=args.seed,
+        max_replicas=args.max_replicas,
+        platforms=kinds,
+        router=args.router,
+        cost_model=CostModel(
+            usd_per_kwh=args.usd_per_kwh,
+            pue=args.pue,
+            capex_usd_per_tdp_watt=args.capex_per_watt,
+        ),
+    )
+    result = run_study(config)
+    print(provisioning_table(result).render())
+    print()
+    print(autoscaler_table(result).render())
+    summary = study_summary(result)
+    if summary:
+        print()
+        print(summary)
     return 0
 
 
@@ -193,10 +268,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=20000,
                        help="requests simulated per operating point")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--traffic", default="poisson",
+                       choices=("poisson", "diurnal", "uniform"),
+                       help="arrival process for the load sweep "
+                            "(default poisson)")
+    serve.add_argument("--diurnal-swing", type=float, default=0.5,
+                       help="diurnal load swing in [0, 1) around the mean "
+                            "(default 0.5)")
+    serve.add_argument("--diurnal-period-s", type=float, default=None,
+                       help="diurnal period in seconds (default: one full "
+                            "cycle per operating point)")
     serve.add_argument("--trace", default=None,
                        help="replay an arrival trace file (one timestamp/line) "
                             "instead of sweeping Poisson loads")
     serve.set_defaults(fn=_cmd_serve)
+
+    datacenter = sub.add_parser(
+        "datacenter",
+        help="provision, autoscale, and price an SLO-bound fleet "
+        "(Figure 10's energy penalty at datacenter load)",
+        description="Energy-aware capacity planning: find the smallest "
+        "fleet of each platform meeting the p99 SLO under diurnal traffic, "
+        "integrate its busy/idle timeline through the calibrated power "
+        "curves (average vs peak Watts, energy per request), price it with "
+        "a CapEx+energy TCO model, and compare static, reactive, and "
+        "predictive autoscaling on the largest fleet.",
+    )
+    datacenter.add_argument("--workload", default="mlp0",
+                            help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1 (default mlp0)")
+    datacenter.add_argument("--slo-ms", type=float, default=7.0,
+                            help="p99 response-time limit in ms (paper: 7)")
+    datacenter.add_argument("--platforms", default="cpu,gpu,tpu",
+                            help="comma-separated subset of cpu,gpu,tpu")
+    datacenter.add_argument("--rate", type=float, default=20000.0,
+                            help="mean offered load, requests/s (default 20000)")
+    datacenter.add_argument("--swing", type=float, default=0.6,
+                            help="diurnal swing in [0, 1) (default 0.6)")
+    datacenter.add_argument("--requests", type=int, default=20000,
+                            help="requests simulated (one diurnal cycle)")
+    datacenter.add_argument("--max-replicas", type=int, default=32,
+                            help="provisioning search ceiling per platform")
+    datacenter.add_argument("--router", default="jsq",
+                            choices=("round_robin", "jsq"))
+    datacenter.add_argument("--seed", type=int, default=0)
+    datacenter.add_argument("--usd-per-kwh", type=float, default=0.10,
+                            help="electricity price (default 0.10)")
+    datacenter.add_argument("--pue", type=float, default=1.5,
+                            help="power usage effectiveness (default 1.5)")
+    datacenter.add_argument("--capex-per-watt", type=float, default=12.0,
+                            help="CapEx per provisioned TDP Watt (default 12)")
+    datacenter.set_defaults(fn=_cmd_datacenter)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.analysis import (  # noqa: E402  (registry population)
     table8,
     extras,
     serving,
+    datacenter,
 )
 
 #: Experiment id -> zero-argument callable returning ExperimentResult.
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "boost_mode": extras.run_boost_mode,
     "server_scale": extras.run_server_scale,
     "serving_sweep": serving.run,
+    "datacenter_provisioning": datacenter.run,
 }
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "platforms", "workloads"]

@@ -1,0 +1,259 @@
+"""datacenter_provisioning: energy-aware capacity planning and TCO.
+
+Closes the serving<->power loop (the question behind Figure 10 and
+Section 8): a diurnally-loaded fleet of each platform serves the same
+offered traffic under the paper's 7 ms p99 SLO; the smallest feasible
+static fleet is chosen per platform, its busy/idle timeline is priced
+through the calibrated energy-proportionality curves, and a CapEx+energy
+model ranks the fleets in cost per million requests.  A second table
+pits autoscaling policies (static / reactive / diurnal-predictive, with
+replica spin-up latency) against each other on the platform that needs
+the largest fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.datacenter.autoscaler import (
+    AutoscaleConfig,
+    PredictivePolicy,
+    ReactivePolicy,
+    ScalingPolicy,
+    StaticPolicy,
+)
+from repro.datacenter.provisioning import (
+    PlatformPlan,
+    PolicyOutcome,
+    compare_policies,
+    plan_capacity,
+)
+from repro.datacenter.tco import CostModel, servers_for
+from repro.platforms.base import SLA_SECONDS
+from repro.power.proportionality import platform_curve
+from repro.serving.sweep import FleetSpec
+from repro.serving.traffic import make_traffic
+from repro.util.tables import TextTable
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """One provisioning study: workload, traffic, SLO, economics."""
+
+    workload: str = "mlp0"
+    slo_seconds: float = 7e-3
+    mean_rate: float = 20000.0
+    swing: float = 0.6
+    n_requests: int = 20000
+    seed: int = 0
+    max_replicas: int = 32
+    platforms: tuple[str, ...] = ("cpu", "gpu", "tpu")
+    router: str = "jsq"
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    @property
+    def period_seconds(self) -> float:
+        """One day/night cycle spans the whole trace (compressed time)."""
+        return self.n_requests / self.mean_rate
+
+    @property
+    def control_interval_seconds(self) -> float:
+        """Autoscaler tick: "a few minutes" of the compressed day."""
+        return self.period_seconds / 100.0
+
+    @property
+    def spinup_seconds(self) -> float:
+        """Replica spin-up: two control ticks of the compressed day."""
+        return self.period_seconds / 50.0
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything the CLI prints and the report renders."""
+
+    config: StudyConfig
+    plans: dict[str, PlatformPlan]
+    autoscaled_kind: str
+    outcomes: list[PolicyOutcome]
+
+
+def _spec(config: StudyConfig, kind: str) -> FleetSpec:
+    return FleetSpec(
+        platform=platforms()[kind],
+        model=workloads()[config.workload],
+        replicas=1,
+        policy="adaptive",
+        slo_seconds=config.slo_seconds,
+        router=config.router,
+    )
+
+
+def run_study(config: StudyConfig) -> StudyResult:
+    """Provision every platform, then race autoscalers on the biggest fleet."""
+    arrivals = make_traffic("diurnal", swing=config.swing)(
+        config.mean_rate, config.n_requests, seed=config.seed
+    )
+    plans = {
+        kind: plan_capacity(
+            _spec(config, kind), arrivals,
+            max_replicas=config.max_replicas, cost_model=config.cost_model,
+        )
+        for kind in config.platforms
+    }
+    # Autoscaling is most interesting where the fleet is biggest.
+    autoscaled_kind = max(plans, key=lambda k: plans[k].replicas)
+    spec = _spec(config, autoscaled_kind)
+    period = config.period_seconds
+    interval = config.control_interval_seconds
+    spinup = config.spinup_seconds
+    scaler_config = AutoscaleConfig(
+        control_interval_seconds=interval,
+        spinup_seconds=spinup,
+        min_replicas=1,
+        max_replicas=config.max_replicas,
+    )
+    policies: list[ScalingPolicy] = [
+        StaticPolicy(plans[autoscaled_kind].replicas),
+        ReactivePolicy(cooldown_seconds=2 * interval),
+        PredictivePolicy(
+            config.mean_rate, config.swing, period,
+            lead_seconds=spinup + interval, target_utilization=0.7,
+        ),
+    ]
+    outcomes = compare_policies(
+        spec, arrivals, policies, scaler_config, cost_model=config.cost_model
+    )
+    return StudyResult(
+        config=config, plans=plans,
+        autoscaled_kind=autoscaled_kind, outcomes=outcomes,
+    )
+
+
+def provisioning_table(result: StudyResult) -> TextTable:
+    config = result.config
+    table = TextTable(
+        ["Platform", "Replicas", "Servers", "p99", "SLO?", "Util",
+         "Avg W", "Peak W", "W ratio", "Fig10 die", "mJ/req", "$/Mreq"],
+        title=(
+            f"Cheapest SLO-feasible fleet -- {config.workload}, diurnal "
+            f"{config.mean_rate:,.0f} req/s mean (swing {config.swing:+.0%}), "
+            f"p99 <= {config.slo_seconds * 1e3:g} ms"
+        ),
+    )
+    for kind, plan in result.plans.items():
+        e, s = plan.energy, plan.stats
+        # The die-level Figure 10 anchor: P(u)/P(1) at the achieved load.
+        die_ratio = platform_curve(kind, config.workload).ratio_at(
+            round(min(e.utilization, 1.0), 6)
+        )
+        table.add_row([
+            kind.upper(),
+            plan.replicas,
+            servers_for(kind, plan.replicas),
+            f"{s.p99_seconds * 1e3:.2f} ms",
+            "yes" if plan.meets_slo else "NO",
+            f"{e.utilization:.0%}",
+            f"{e.avg_watts:,.0f}",
+            f"{e.peak_watts:,.0f}",
+            f"{e.power_ratio:.2f}",
+            f"{die_ratio:.2f}",
+            f"{e.energy_per_request_j * 1e3:.2f}",
+            f"{plan.cost.usd_per_million_requests:.4f}",
+        ])
+    return table
+
+
+def autoscaler_table(result: StudyResult) -> TextTable:
+    config = result.config
+    table = TextTable(
+        ["Policy", "Peak", "Mean on", "p99", "SLO miss", "Avg W",
+         "mJ/req", "$/Mreq"],
+        title=(
+            f"Autoscaling the {result.autoscaled_kind.upper()} fleet -- "
+            f"spin-up {config.spinup_seconds:.3g} s, "
+            f"control every {config.control_interval_seconds:.3g} s"
+        ),
+    )
+    for o in result.outcomes:
+        table.add_row([
+            o.policy,
+            o.peak_replicas,
+            f"{o.mean_powered:.2f}",
+            f"{o.stats.p99_seconds * 1e3:.2f} ms",
+            f"{o.stats.slo_miss_fraction:.1%}",
+            f"{o.energy.avg_watts:,.0f}",
+            f"{o.energy.energy_per_request_j * 1e3:.2f}",
+            f"{o.cost.usd_per_million_requests:.4f}",
+        ])
+    return table
+
+
+def study_summary(result: StudyResult) -> str:
+    tpu = result.plans.get("tpu")
+    lines = []
+    if tpu is not None:
+        e = tpu.energy
+        lines.append(
+            f"TPU fleet: {e.utilization:.0%} utilized yet drawing "
+            f"{e.power_ratio:.0%} of peak power -- "
+            f"x{e.proportionality_penalty:.1f} what an energy-proportional "
+            "design would burn (Figure 10's penalty, now priced)."
+        )
+    static = next((o for o in result.outcomes if o.policy.startswith("static")), None)
+    best = min(
+        (o for o in result.outcomes if not o.policy.startswith("static")),
+        key=lambda o: o.energy.joules,
+        default=None,
+    )
+    if static is not None and best is not None and static.energy.joules > 0:
+        saved = 1.0 - best.energy.joules / static.energy.joules
+        lines.append(
+            f"Best autoscaler ({best.policy}) cuts fleet energy {saved:.0%} vs "
+            f"static peak provisioning at {best.stats.slo_miss_fraction:.1%} "
+            "SLO misses -- the idle-Watts/SLO-risk trade."
+        )
+    return "\n".join(lines)
+
+
+def run() -> ExperimentResult:
+    workload = "mlp0"
+    slo = SLA_SECONDS.get(workload, 7e-3)
+    config = StudyConfig(
+        workload=workload, slo_seconds=slo, n_requests=8000, max_replicas=16
+    )
+    result = run_study(config)
+    measured: dict = {}
+    for kind, plan in result.plans.items():
+        measured[kind] = {
+            "replicas": plan.replicas,
+            "p99_ms": plan.stats.p99_seconds * 1e3,
+            "utilization": plan.energy.utilization,
+            "avg_watts": plan.energy.avg_watts,
+            "peak_watts": plan.energy.peak_watts,
+            "power_ratio": plan.energy.power_ratio,
+            "mj_per_request": plan.energy.energy_per_request_j * 1e3,
+            "usd_per_mreq": plan.cost.usd_per_million_requests,
+        }
+    for o in result.outcomes:
+        measured[f"autoscale_{o.policy}"] = {
+            "mean_powered": o.mean_powered,
+            "avg_watts": o.energy.avg_watts,
+            "slo_miss_fraction": o.stats.slo_miss_fraction,
+        }
+    text = "\n\n".join([
+        provisioning_table(result).render(),
+        autoscaler_table(result).render(),
+        study_summary(result),
+    ])
+    return ExperimentResult(
+        exp_id="datacenter_provisioning",
+        title="Energy-aware capacity planning, autoscaling, and TCO",
+        text=text,
+        measured=measured,
+        paper={
+            # Section 6's published 10%-load power ratios (Figure 10).
+            "ratio_at_10pct": {"tpu": 0.88, "gpu": 0.66, "cpu": 0.56},
+            "slo_seconds": slo,
+        },
+    )

@@ -18,7 +18,7 @@ and reporting the peak footprint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class UBOverflowError(MemoryError):

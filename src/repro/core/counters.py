@@ -9,7 +9,7 @@ overlapping sub-counters inside non-matrix time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 #: The counters the simulator maintains.  The real chip exposes 106; we

@@ -1,0 +1,99 @@
+"""Total cost of ownership: CapEx + energy for a provisioned fleet.
+
+The paper withholds Google's TCO and offers performance/Watt with
+TDP-provisioned Watts as the public proxy (Section 5).  This module
+makes that proxy concrete enough to rank fleets in dollars: CapEx
+scales with provisioned server TDP (the Barroso/Hölzle datacenter-
+construction rule of thumb -- dollars per Watt of provisioned power,
+amortized over the hardware's service life), and OpEx is the simulated
+energy bill (joules from :mod:`repro.datacenter.energy`, marked up by
+PUE).  Absolute dollars are a modeling choice; the *ratios* between
+platforms and policies are the output that matters, exactly as the
+paper treats perf/Watt.
+
+Replicas are dies; servers are the purchasable unit (2 Haswell dies,
+8 K80 dies, or 4 TPUs per server, Table 2), so a 5-replica TPU fleet
+pays for 2 servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.platforms.specs import SERVERS
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable economics (defaults are conventional public figures)."""
+
+    usd_per_kwh: float = 0.10
+    pue: float = 1.5  # datacenter overhead on IT energy
+    capex_usd_per_tdp_watt: float = 12.0  # build + hardware per provisioned Watt
+    amortization_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        for field in ("usd_per_kwh", "pue", "capex_usd_per_tdp_watt", "amortization_years"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    def server_capex_usd_per_second(self, kind: str) -> float:
+        """One server's amortized capital cost per second of ownership."""
+        tdp = SERVERS[kind].tdp_w
+        return tdp * self.capex_usd_per_tdp_watt / (
+            self.amortization_years * SECONDS_PER_YEAR
+        )
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """What one simulated serving interval cost, and per what it bought."""
+
+    kind: str
+    replicas: int
+    servers: int
+    horizon_seconds: float
+    capex_usd: float
+    energy_kwh: float
+    energy_usd: float
+    total_usd: float
+    usd_per_million_requests: float
+
+
+def servers_for(kind: str, replicas: int) -> int:
+    """Whole servers needed to host ``replicas`` dies of a platform."""
+    if replicas <= 0:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    return math.ceil(replicas / SERVERS[kind].dies)
+
+
+def fleet_cost(
+    kind: str,
+    replicas: int,
+    joules: float,
+    horizon_seconds: float,
+    requests: int,
+    model: CostModel = CostModel(),
+) -> CostBreakdown:
+    """Price a completed simulation interval: amortized CapEx + energy."""
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_seconds}")
+    servers = servers_for(kind, replicas)
+    capex = servers * model.server_capex_usd_per_second(kind) * horizon_seconds
+    kwh = joules / 3.6e6 * model.pue
+    energy_usd = kwh * model.usd_per_kwh
+    total = capex + energy_usd
+    return CostBreakdown(
+        kind=kind,
+        replicas=replicas,
+        servers=servers,
+        horizon_seconds=horizon_seconds,
+        capex_usd=capex,
+        energy_kwh=kwh,
+        energy_usd=energy_usd,
+        total_usd=total,
+        usd_per_million_requests=total / requests * 1e6 if requests else float("inf"),
+    )

@@ -42,6 +42,7 @@ from repro.serving.engine import (
 from repro.serving.fleet import (
     Fleet,
     FleetResult,
+    FleetSim,
     PlatformCurve,
     Replica,
     RoundRobinRouter,
@@ -60,6 +61,7 @@ from repro.serving.sweep import (
 from repro.serving.traffic import (
     diurnal_arrivals,
     load_trace,
+    make_traffic,
     poisson_arrivals,
     trace_arrivals,
     uniform_arrivals,
@@ -73,6 +75,7 @@ __all__ = [
     "FixedBatcher",
     "Fleet",
     "FleetResult",
+    "FleetSim",
     "FleetSpec",
     "LatencyCurve",
     "OperatingPoint",
@@ -88,6 +91,7 @@ __all__ = [
     "load_trace",
     "make_batcher",
     "make_router",
+    "make_traffic",
     "max_throughput_under_slo",
     "occupancy_latency",
     "poisson_arrivals",

@@ -86,8 +86,12 @@ class ConstantCurve(LatencyCurve):
 class BatchServer:
     """One replica's execution resource.
 
-    Tracks when the server frees up, accumulated busy time, and per-batch
-    accounting (batch count, served requests) for fairness checks.
+    Tracks when the server frees up, accumulated busy time, per-batch
+    accounting (batch count, served requests) for fairness checks, and
+    the busy *intervals* themselves -- the utilization timeline that the
+    energy accounting in :mod:`repro.datacenter.energy` integrates
+    through a power curve (the paper's Figure 10 question: Watts at the
+    load a fleet actually sees, not at peak).
     """
 
     def __init__(self, curve: LatencyCurve) -> None:
@@ -96,6 +100,7 @@ class BatchServer:
         self.busy_time = 0.0
         self.batches = 0
         self.served = 0
+        self.busy_intervals: list[tuple[float, float]] = []
 
     def idle_at(self, now: float) -> bool:
         return self.free_at <= now
@@ -107,11 +112,16 @@ class BatchServer:
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
+        if not self.idle_at(now):
+            raise RuntimeError(
+                f"batch started at {now} while server busy until {self.free_at}"
+            )
         occupancy = self.curve.occupancy(batch)
         self.free_at = now + occupancy
         self.busy_time += occupancy
         self.batches += 1
         self.served += batch
+        self.busy_intervals.append((now, self.free_at))
         return now + self.curve.latency(batch)
 
 

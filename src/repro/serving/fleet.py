@@ -108,6 +108,11 @@ class Replica:
         self.server = BatchServer(curve)
         self.batcher = batcher
         self.queue: deque[Request] = deque()
+        self.admitted = 0
+
+    def admit(self, request: Request) -> None:
+        self.queue.append(request)
+        self.admitted += 1
 
     @property
     def backlog(self) -> int:
@@ -171,6 +176,9 @@ class FleetResult:
     served_per_replica: tuple[int, ...]
     batches_per_replica: tuple[int, ...]
     unserved: int = 0  # requests still queued at the end (drain=False)
+    #: Per-replica busy (start, end) intervals -- the utilization
+    #: timelines the datacenter energy accounting integrates.
+    busy_intervals: tuple[tuple[tuple[float, float], ...], ...] = ()
 
     def stats(
         self,
@@ -185,6 +193,128 @@ class FleetResult:
             warmup_fraction=warmup_fraction,
             slo_seconds=slo_seconds,
             batches=sum(self.batches_per_replica),
+        )
+
+
+class FleetSim:
+    """One in-flight discrete-event fleet simulation.
+
+    ``Fleet.run`` drives it start to finish over a static replica set;
+    the autoscaler (:mod:`repro.datacenter.autoscaler`) drives the same
+    core with a *dynamic* routing set (``eligible``) and its own
+    control-loop events scheduled on ``loop``.  ``replicas`` accumulates
+    every replica that ever admitted work -- deactivated replicas stay
+    in it so their residual queues drain and their accounting is kept.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        router: Router,
+        arrivals: np.ndarray,
+        drain: bool = True,
+    ) -> None:
+        arrivals = np.asarray(arrivals, dtype=float)
+        if arrivals.size == 0:
+            raise ValueError("arrivals must be non-empty")
+        self.replicas: list[Replica] = list(replicas)
+        self.eligible: list[Replica] = list(replicas)  # routing targets
+        self.router = router
+        self.arrivals = arrivals
+        self.drain = drain
+        self.loop = EventLoop()
+        self.responses = np.full(arrivals.size, np.nan)
+        self.pending = arrivals.size  # arrivals not yet processed
+
+    def poll(self, replica: Replica) -> None:
+        """Launch a batch on ``replica`` if its policy says so."""
+        now = self.loop.now
+        if not replica.queue or not replica.server.idle_at(now):
+            return
+        oldest = replica.queue[0].arrival
+        n = replica.batcher.dispatch_size(len(replica.queue), now - oldest)
+        if n == 0:
+            # Compare absolute deadlines, not ages: recomputing the
+            # deadline reproduces the exact float a timer fired at,
+            # where age arithmetic can round just below the budget
+            # and spin the loop at zero delay.
+            deadline = replica.batcher.wait_deadline(len(replica.queue), oldest)
+            if deadline is not None and deadline <= now:
+                n = min(len(replica.queue), replica.batcher.max_batch)
+            elif self.pending == 0 and self.drain:
+                # End of trace: serve the leftover partial batch.
+                n = min(len(replica.queue), replica.batcher.max_batch)
+            elif deadline is not None:
+                self.loop.schedule(deadline, lambda _t: self.poll(replica))
+        if n > 0:
+            self._launch(replica, n, now)
+            self.loop.schedule(replica.server.free_at, lambda _t: self.poll(replica))
+
+    def _launch(self, replica: Replica, n: int, now: float) -> None:
+        batch = [replica.queue.popleft() for _ in range(n)]
+        done = replica.server.start_batch(now, n)
+        for request in batch:
+            self.responses[request.index] = done - request.arrival
+
+    def _on_arrival(self, request: Request) -> None:
+        self.pending -= 1
+        replica = self.router.pick(self.eligible, self.loop.now)
+        replica.admit(request)
+        self.poll(replica)
+        if self.pending == 0:
+            # End of trace: drain idle replicas with partial queues
+            # (busy ones drain when their free event polls them).
+            for other in self.replicas:
+                if other is not replica:
+                    self.poll(other)
+
+    def _flush_residual(self) -> None:
+        """Serve whatever the event cascade left queued, deterministically.
+
+        The in-loop drain handles every in-tree batcher, but the
+        guarantee "every admitted request gets a response" must not
+        depend on each policy's deadline discipline: a custom batcher
+        that neither dispatches nor sets a deadline would otherwise
+        strand its queue.  Flush replica by replica (index order, then
+        time), so the residual schedule is reproducible.
+        """
+        for replica in self.replicas:
+            while replica.queue:
+                now = max(self.loop.now, replica.server.free_at)
+                self._launch(replica, min(len(replica.queue), replica.batcher.max_batch), now)
+
+    def run(self) -> FleetResult:
+        for index, when in enumerate(self.arrivals):
+            request = Request(index=index, arrival=float(when))
+            self.loop.schedule(float(when), lambda _t, r=request: self._on_arrival(r))
+        self.loop.run()
+        if self.drain:
+            self._flush_residual()
+
+        # The engine invariant: every admitted request got a response
+        # (or, with drain=False, is reported as unserved -- never lost).
+        admitted = sum(r.admitted for r in self.replicas)
+        served = sum(r.server.served for r in self.replicas)
+        unserved_mask = np.isnan(self.responses)
+        unserved = int(np.count_nonzero(unserved_mask))
+        if admitted != self.arrivals.size or admitted != served + unserved:
+            raise RuntimeError(
+                f"request conservation violated: {self.arrivals.size} arrived, "
+                f"{admitted} admitted, {served} served, {unserved} unserved"
+            )
+        if unserved and self.drain:
+            raise RuntimeError("simulation ended with unserved requests")
+        horizon = max(
+            max(r.server.free_at for r in self.replicas), float(self.arrivals[-1])
+        )
+        return FleetResult(
+            responses=self.responses[~unserved_mask] if unserved else self.responses,
+            horizon=horizon,
+            busy_time=sum(r.server.busy_time for r in self.replicas),
+            served_per_replica=tuple(r.server.served for r in self.replicas),
+            batches_per_replica=tuple(r.server.batches for r in self.replicas),
+            unserved=unserved,
+            busy_intervals=tuple(tuple(r.server.busy_intervals) for r in self.replicas),
         )
 
 
@@ -206,68 +336,4 @@ class Fleet:
         batcher with a partial final batch) never launches are reported
         via ``FleetResult.unserved`` and excluded from the statistics.
         """
-        arrivals = np.asarray(arrivals, dtype=float)
-        if arrivals.size == 0:
-            raise ValueError("arrivals must be non-empty")
-        loop = EventLoop()
-        responses = np.full(arrivals.size, np.nan)
-        pending = arrivals.size  # arrivals not yet processed
-
-        def poll(replica: Replica) -> None:
-            """Launch a batch on ``replica`` if its policy says so."""
-            now = loop.now
-            if not replica.queue or not replica.server.idle_at(now):
-                return
-            oldest = replica.queue[0].arrival
-            n = replica.batcher.dispatch_size(len(replica.queue), now - oldest)
-            if n == 0:
-                # Compare absolute deadlines, not ages: recomputing the
-                # deadline reproduces the exact float a timer fired at,
-                # where age arithmetic can round just below the budget
-                # and spin the loop at zero delay.
-                deadline = replica.batcher.wait_deadline(len(replica.queue), oldest)
-                if deadline is not None and deadline <= now:
-                    n = min(len(replica.queue), replica.batcher.max_batch)
-                elif pending == 0 and drain:
-                    # End of trace: serve the leftover partial batch.
-                    n = min(len(replica.queue), replica.batcher.max_batch)
-                elif deadline is not None:
-                    loop.schedule(deadline, lambda _t: poll(replica))
-            if n > 0:
-                batch = [replica.queue.popleft() for _ in range(n)]
-                done = replica.server.start_batch(now, n)
-                for request in batch:
-                    responses[request.index] = done - request.arrival
-                loop.schedule(replica.server.free_at, lambda _t: poll(replica))
-
-        def on_arrival(request: Request) -> None:
-            nonlocal pending
-            pending -= 1
-            replica = self.router.pick(self.replicas, loop.now)
-            replica.queue.append(request)
-            poll(replica)
-            if pending == 0:
-                # End of trace: drain idle replicas with partial queues
-                # (busy ones drain when their free event polls them).
-                for other in self.replicas:
-                    if other is not replica:
-                        poll(other)
-
-        for index, when in enumerate(arrivals):
-            request = Request(index=index, arrival=float(when))
-            loop.schedule(float(when), lambda _t, r=request: on_arrival(r))
-        loop.run()
-
-        unserved_mask = np.isnan(responses)
-        unserved = int(np.count_nonzero(unserved_mask))
-        if unserved and drain:
-            raise RuntimeError("simulation ended with unserved requests")
-        horizon = max(max(r.server.free_at for r in self.replicas), float(arrivals[-1]))
-        return FleetResult(
-            responses=responses[~unserved_mask] if unserved else responses,
-            horizon=horizon,
-            busy_time=sum(r.server.busy_time for r in self.replicas),
-            served_per_replica=tuple(r.server.served for r in self.replicas),
-            batches_per_replica=tuple(r.server.batches for r in self.replicas),
-            unserved=unserved,
-        )
+        return FleetSim(self.replicas, self.router, arrivals, drain=drain).run()

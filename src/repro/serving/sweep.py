@@ -9,8 +9,11 @@ number a capacity planner actually provisions against.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import cached_property
+
+import numpy as np
 
 from repro.nn.graph import Model
 from repro.platforms.base import Platform
@@ -66,12 +69,14 @@ class FleetSpec:
             timeout_seconds=self.timeout_seconds,
         )
 
+    def make_replica(self, index: int) -> Replica:
+        """One replica of this spec (shared memoized latency curve)."""
+        return Replica(self.curve, self._batcher(), name=f"{self.platform.kind}{index}")
+
     def build(self) -> Fleet:
-        replicas = [
-            Replica(self.curve, self._batcher(), name=f"{self.platform.kind}{i}")
-            for i in range(self.replicas)
-        ]
-        return Fleet(replicas, router=self.router)
+        return Fleet(
+            [self.make_replica(i) for i in range(self.replicas)], router=self.router
+        )
 
     def max_batch(self) -> int:
         """The policy's largest admissible batch on this platform."""
@@ -88,13 +93,19 @@ def run_point(
     load_fraction: float,
     n_requests: int = 20000,
     seed: int = 0,
+    traffic: Callable[..., np.ndarray] = poisson_arrivals,
 ) -> tuple[OperatingPoint, FleetResult]:
-    """Simulate one offered load (a fraction of fleet capacity)."""
+    """Simulate one offered load (a fraction of fleet capacity).
+
+    ``traffic`` is any ``(rate, n_requests, seed=...)`` arrival generator
+    (see :func:`repro.serving.traffic.make_traffic`); the default is the
+    paper's implicit Poisson model.
+    """
     if load_fraction <= 0:
         raise ValueError(f"load_fraction must be positive, got {load_fraction}")
     offered = spec.capacity_rps() * load_fraction
     fleet = spec.build()
-    result = fleet.run(poisson_arrivals(offered, n_requests, seed=seed))
+    result = fleet.run(traffic(offered, n_requests, seed=seed))
     stats = result.stats(slo_seconds=spec.slo_seconds)
     point = OperatingPoint(
         offered_rps=offered,
@@ -115,10 +126,11 @@ def serving_sweep(
     load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
     n_requests: int = 20000,
     seed: int = 0,
+    traffic: Callable[..., np.ndarray] = poisson_arrivals,
 ) -> list[OperatingPoint]:
     """The p99-vs-throughput operating curve across a load sweep."""
     return [
-        run_point(spec, fraction, n_requests=n_requests, seed=seed)[0]
+        run_point(spec, fraction, n_requests=n_requests, seed=seed, traffic=traffic)[0]
         for fraction in load_fractions
     ]
 

@@ -14,13 +14,10 @@ from repro.compiler.lowering import Lowering, groups_of
 from repro.compiler.tiling import TileCoord, padded_tile_bytes, tile_grid, tile_matmul, utilization
 from repro.core.config import TPUConfig
 from repro.isa.instructions import (
-    Activate,
     MatrixMultiply,
-    ReadHostMemory,
     ReadWeights,
     VectorInstruction,
     VectorKind,
-    WriteHostMemory,
 )
 from repro.util.units import MIB
 

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.compiler.driver import TPUDriver
-from repro.core.config import TPUConfig, TPU_V1
+from repro.core.config import TPU_V1
 from repro.core.device import TPUDevice
 from repro.nn.graph import Model
-from repro.nn.layers import Activation, FullyConnected
 from tests.conftest import functional_pair
 
 

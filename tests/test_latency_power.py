@@ -8,6 +8,7 @@ from repro.latency.sweep import table4_rows
 from repro.power.floorplan import category_shares, die_table
 from repro.power.perfwatt import figure9_bars, server_scale_study
 from repro.power.proportionality import (
+    PowerCurve,
     calibrate_alpha,
     figure10_series,
     host_share_watts,
@@ -144,6 +145,49 @@ class TestProportionality:
         # Section 6: the CPU server runs at 69% of full power for the TPU.
         assert host_share_watts("tpu", 1.0) == pytest.approx(0.69 * 455, rel=0.01)
         assert host_share_watts("gpu", 1.0) == pytest.approx(0.52 * 455, rel=0.01)
+
+
+#: Curve parameters spanning every calibrated platform and then some.
+curve_params = st.tuples(
+    st.floats(1.0, 500.0),  # idle W
+    st.floats(1.0, 2000.0),  # busy increment above idle
+    st.floats(0.02, 5.0),  # alpha (TPU's is ~0.04; proportional is 1)
+)
+
+
+class TestProportionalityProperties:
+    """Hypothesis contracts for the PowerCurve family."""
+
+    @given(curve_params, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_watts_monotone_in_utilization(self, params, u1, u2):
+        idle, extra, alpha = params
+        curve = PowerCurve("prop", idle_w=idle, busy_w=idle + extra, alpha=alpha)
+        lo, hi = sorted((u1, u2))
+        assert curve.watts(lo) <= curve.watts(hi) + 1e-9
+
+    @given(curve_params)
+    @settings(max_examples=50, deadline=None)
+    def test_ratio_at_full_load_is_one(self, params):
+        idle, extra, alpha = params
+        curve = PowerCurve("prop", idle_w=idle, busy_w=idle + extra, alpha=alpha)
+        assert curve.ratio_at(1.0) == pytest.approx(1.0)
+        assert curve.idle_w <= curve.watts(0.5) <= curve.busy_w
+
+    @given(
+        st.floats(1.0, 500.0),
+        st.floats(1.0, 2000.0),
+        st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_calibrate_alpha_round_trips(self, idle, extra, fraction):
+        # Any ratio strictly between idle/busy and 1 is reachable; the
+        # calibrated curve must reproduce it at 10% load.
+        busy = idle + extra
+        ratio = (idle + fraction * extra) / busy
+        alpha = calibrate_alpha(idle, busy, ratio)
+        curve = PowerCurve("prop", idle_w=idle, busy_w=busy, alpha=alpha)
+        assert curve.ratio_at(0.1) == pytest.approx(ratio, rel=1e-6)
 
 
 class TestPerfWatt:

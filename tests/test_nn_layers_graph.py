@@ -1,6 +1,5 @@
 """Tests for the layer algebra and model graphs."""
 
-import math
 
 import pytest
 

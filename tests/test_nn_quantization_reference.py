@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.nn.graph import Model
-from repro.nn.layers import Activation, Conv2D, FullyConnected
+from repro.nn.layers import Activation, FullyConnected
 from repro.nn.quantization import (
     TensorScale,
     apply_activation,
@@ -158,7 +158,8 @@ class TestReferenceExecutor:
         w = weights["l"].astype(np.float64)
         h = np.zeros((1, 2))
         c = np.zeros((1, 2))
-        sig = lambda v: 1 / (1 + np.exp(-v))
+        def sig(v):
+            return 1 / (1 + np.exp(-v))
         for t in range(2):
             z = np.concatenate([x[:, t, :], h], axis=1) @ w
             gi, gf, gg, go = np.split(z, 4, axis=1)

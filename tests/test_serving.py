@@ -137,6 +137,106 @@ class TestBatchers:
         assert make_batcher("timeout", curve, 7e-3, batch_size=8).max_batch == 8
 
 
+class TestJSQTieBreaking:
+    def test_equal_backlogs_prefer_idle_server(self):
+        from repro.serving.fleet import ShortestQueueRouter
+
+        curve = ConstantCurve(SERVICE)
+        busy, idle = (Replica(curve, FixedBatcher(4), name=n) for n in ("a", "b"))
+        busy.server.start_batch(0.0, 4)  # busy until t=2ms
+        router = ShortestQueueRouter()
+        assert router.pick([busy, idle], now=1e-3) is idle
+        # Once the busy one frees up, the tie falls back to index order.
+        assert router.pick([busy, idle], now=3e-3) is busy
+
+    def test_backlog_dominates_idleness(self):
+        from repro.serving.fleet import ShortestQueueRouter
+        from repro.serving.engine import Request
+
+        curve = ConstantCurve(SERVICE)
+        shallow, deep = (Replica(curve, FixedBatcher(4)) for _ in range(2))
+        shallow.server.start_batch(0.0, 4)  # busy, but queue is empty
+        deep.admit(Request(index=0, arrival=0.0))
+        router = ShortestQueueRouter()
+        assert router.pick([deep, shallow], now=1e-3) is shallow
+
+    def test_all_equal_picks_lowest_index(self):
+        from repro.serving.fleet import ShortestQueueRouter
+
+        curve = ConstantCurve(SERVICE)
+        replicas = [Replica(curve, FixedBatcher(4)) for _ in range(3)]
+        assert ShortestQueueRouter().pick(replicas, now=0.0) is replicas[0]
+
+
+class TestDrainInvariant:
+    def test_trace_drain_flushes_residual_queues(self):
+        # A trace that parks partial batches on several replicas: with
+        # drain=True every request must complete, including on replicas
+        # that are busy when the trace ends.
+        curve = ConstantCurve(SERVICE)
+        fleet = Fleet(
+            [Replica(curve, FixedBatcher(16)) for _ in range(3)],
+            router="round_robin",
+        )
+        result = fleet.run(trace_arrivals([i * 1e-4 for i in range(50)]))
+        assert result.unserved == 0
+        assert result.responses.size == 50
+        assert not np.isnan(result.responses).any()
+        assert sum(result.served_per_replica) == 50
+
+    def test_drain_is_deterministic(self):
+        curve = ConstantCurve(SERVICE)
+
+        def run():
+            fleet = Fleet(
+                [Replica(curve, FixedBatcher(16)) for _ in range(3)], router="jsq"
+            )
+            return fleet.run(poisson_arrivals(2000.0, 777, seed=12))
+
+        a, b = run(), run()
+        assert np.array_equal(a.responses, b.responses)
+        assert a.served_per_replica == b.served_per_replica
+
+    def test_stranding_batcher_is_flushed(self):
+        # A pathological policy that never dispatches and never sets a
+        # deadline: the structural flush must still serve everyone.
+        class Stubborn(FixedBatcher):
+            def dispatch_size(self, queue_len, oldest_age):
+                return 0
+
+        fleet = single_replica(Stubborn(8))
+        result = fleet.run(uniform_arrivals(1000.0, 20))
+        assert result.unserved == 0
+        assert result.responses.size == 20
+
+    def test_admission_accounting(self):
+        fleet = single_replica(FixedBatcher(4))
+        fleet.run(uniform_arrivals(1000.0, 12))
+        replica = fleet.replicas[0]
+        assert replica.admitted == 12
+        assert replica.server.served == 12
+
+
+class TestBusyIntervals:
+    def test_intervals_match_busy_time(self):
+        fleet = single_replica(TimeoutBatcher(8, 1e-3))
+        result = fleet.run(poisson_arrivals(1500.0, 600, seed=13))
+        (intervals,) = result.busy_intervals
+        assert sum(e - s for s, e in intervals) == pytest.approx(result.busy_time)
+        # Intervals are chronological and disjoint (idle gaps between).
+        for (_s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):
+            assert e0 <= s1 + 1e-12
+
+    def test_batch_server_records_occupancy(self):
+        from repro.serving.engine import BatchServer
+
+        server = BatchServer(ConstantCurve(2e-3, 5e-3))
+        server.start_batch(1.0, 4)
+        assert server.busy_intervals == [(1.0, 1.002)]
+        with pytest.raises(RuntimeError):  # still busy at 1.001
+            server.start_batch(1.001, 1)
+
+
 class TestRouters:
     def test_round_robin_fairness(self):
         curve = ConstantCurve(SERVICE)

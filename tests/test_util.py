@@ -1,6 +1,5 @@
 """Tests for repro.util: units, statistics, tables, plots."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
