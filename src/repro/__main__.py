@@ -1,218 +1,221 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every subcommand is a thin argparse -> :class:`ScenarioSpec` adapter
+over the :func:`repro.run` facade: flags build a declarative scenario,
+``--config scenario.json`` loads one from disk instead, and ``--json``
+prints the structured :class:`ScenarioResult` rather than the rendered
+text.  ``python -m repro serve --config spec.json --json`` and
+``repro.run(ServeScenario(...))`` are the same computation.
+
 Commands:
 
 * ``profile <app>``     -- compile a Table-1 workload and print its cycle
   breakdown (Table 3 style);
 * ``experiment <id>``   -- regenerate one table/figure (e.g. ``table6``);
+  ``--spec`` introspects its default scenario;
 * ``report [path]``     -- regenerate every experiment into a markdown
-  report (defaults to EXPERIMENTS.md);
+  report (defaults to EXPERIMENTS.md); failures are isolated per
+  experiment, ``--jobs N`` runs across processes, ``--only`` subsets;
 * ``serve``             -- run the fleet serving simulator: sweep offered
   load on N replicas under a p99 SLO and print the p99-vs-throughput
   operating curve (the Table 4 mechanism, generalized);
 * ``datacenter``        -- energy-aware capacity planning: provision the
   cheapest SLO-feasible fleet per platform under diurnal traffic, price
   it (Watts, joules/request, $/Mreq), and race autoscaling policies;
-* ``list``              -- list workloads and experiment ids.
+* ``list``              -- list workloads, experiment ids, and scenario
+  kinds (``--json`` for the introspectable registry).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+#: ``serve`` flag defaults, resolved after parsing so the CLI can tell
+#: "flag left alone" from "flag explicitly set" (the --trace warning).
+_SERVE_DEFAULT_TRAFFIC = "poisson"
+_SERVE_DEFAULT_LOADS = "0.3,0.5,0.7,0.8,0.9,0.95"
 
-def _cmd_list(_args: argparse.Namespace) -> int:
+
+def _print_result(result, as_json: bool) -> None:
+    """Shared result printing: notes to stderr, body (or JSON) to stdout."""
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    for note in result.notes:
+        print(note, file=sys.stderr)
+    rendered = result.render()
+    if rendered:
+        print(rendered)
+
+
+def _load_config(path: str, command: str, kinds: tuple[str, ...]):
+    """Load a scenario config and check it fits the invoking subcommand."""
+    from repro.api import SpecError, SweepSpec, load_scenario
+
+    scenario = load_scenario(path)
+    kind = scenario.base.kind if isinstance(scenario, SweepSpec) else scenario.kind
+    if kind not in kinds:
+        raise SpecError(
+            f"{path} holds a {kind!r} scenario; run it with "
+            f"`python -m repro {kind} --config {path}`"
+        )
+    return scenario
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
+    from repro.api.spec import scenario_kinds
     from repro.nn.workloads import WORKLOAD_BUILDERS
 
+    if args.json:
+        print(json.dumps({
+            "workloads": list(WORKLOAD_BUILDERS),
+            "experiments": {
+                exp_id: exp.describe() for exp_id, exp in EXPERIMENTS.items()
+            },
+            "scenario_kinds": list(scenario_kinds()),
+        }, indent=2))
+        return 0
     print("workloads:  " + ", ".join(WORKLOAD_BUILDERS))
     print("experiments: " + ", ".join(EXPERIMENTS))
+    print("scenarios:  " + ", ".join(scenario_kinds())
+          + "  (see `--config`/`--json` on profile/serve/datacenter)")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro import TPUDriver, build_workload
+    from repro.api import ProfileScenario, SpecError, run
 
-    model = build_workload(args.app)
-    driver = TPUDriver()
-    compiled = driver.compile(
-        model, weight_bits=args.weight_bits, activation_bits=args.activation_bits
-    )
-    result = driver.profile(compiled)
-    b = result.breakdown
-    print(model.summary())
-    print(compiled.program.summary())
-    print(f"cycles            : {result.cycles:,.0f} ({result.seconds * 1e3:.2f} ms/batch)")
-    print(f"array active      : {b.active_fraction:.1%} (useful {b.useful_mac_fraction:.1%})")
-    print(f"weight stall/shift: {b.weight_stall_fraction:.1%} / {b.weight_shift_fraction:.1%}")
-    print(f"non-matrix        : {b.non_matrix_fraction:.1%} "
-          f"(RAW {b.raw_stall_fraction:.1%}, input {b.input_stall_fraction:.1%})")
-    print(f"delivered         : {result.tera_ops:.1f} TOPS")
-    print(f"throughput        : {driver.ips(compiled, result):,.0f} IPS incl. host")
-    print(f"Unified Buffer    : {compiled.ub_peak_bytes / 2**20:.1f} MiB")
+    try:
+        if args.config:
+            scenario = _load_config(args.config, "profile", ("profile",))
+        elif args.app is not None:
+            scenario = ProfileScenario(
+                workload=args.app,
+                weight_bits=args.weight_bits,
+                activation_bits=args.activation_bits,
+            )
+        else:
+            print("profile: give a workload (mlp0|mlp1|lstm0|lstm1|cnn0|cnn1) "
+                  "or --config scenario.json", file=sys.stderr)
+            return 2
+        result = run(scenario)
+    except (SpecError, OSError) as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
 
-    fn = EXPERIMENTS.get(args.exp_id)
-    if fn is None:
+    exp = EXPERIMENTS.get(args.exp_id)
+    if exp is None:
         print(f"unknown experiment {args.exp_id!r}; try: "
               + ", ".join(EXPERIMENTS), file=sys.stderr)
         return 2
-    print(fn())
-    return 0
-
-
-def _cmd_serve(args: argparse.Namespace) -> int:
-    try:
-        return _run_serve(args)
-    except (ValueError, OSError) as exc:
-        # Bad loads/SLO/trace inputs carry their own message; surface it
-        # as a CLI error, not a traceback.
-        print(f"serve: {exc}", file=sys.stderr)
-        return 2
-
-
-def _run_serve(args: argparse.Namespace) -> int:
-    from repro.analysis.common import platforms, workloads
-    from repro.serving import (
-        FleetSpec,
-        load_trace,
-        make_traffic,
-        max_throughput_under_slo,
-        run_point,
-        sweep_table,
-    )
-
-    models = workloads()
-    if args.workload not in models:
-        print(f"unknown workload {args.workload!r}; try: "
-              + ", ".join(models), file=sys.stderr)
-        return 2
-    platform = platforms()[args.platform]
-    model = models[args.workload]
-    batch = args.batch
-    if batch is None and args.policy in ("fixed", "timeout"):
-        batch = platform.latency_bounded_batch(model, args.slo_ms * 1e-3)
-        print(f"(batch not given; using latency-bounded batch {batch})",
-              file=sys.stderr)
-    spec = FleetSpec(
-        platform=platform,
-        model=model,
-        replicas=args.replicas,
-        policy=args.policy,
-        slo_seconds=args.slo_ms * 1e-3,
-        batch_size=batch,
-        timeout_seconds=args.timeout_ms * 1e-3 if args.timeout_ms is not None else None,
-        router=args.router,
-    )
-    if args.trace:
-        arrivals = load_trace(args.trace)
-        result = spec.build().run(arrivals)
-        stats = result.stats(slo_seconds=spec.slo_seconds)
-        print(f"trace {args.trace}: {stats.completed} requests over "
-              f"{arrivals[-1]:.3f} s on {spec.platform.name} x{spec.replicas}")
-        print(f"  throughput {stats.throughput_rps:,.0f}/s  "
-              f"p50 {stats.p50_seconds * 1e3:.2f} ms  "
-              f"p99 {stats.p99_seconds * 1e3:.2f} ms  "
-              f"util {stats.utilization:.0%}  "
-              f"SLO misses {stats.slo_miss_fraction:.1%}")
+    if args.spec:
+        print(json.dumps(exp.describe(), indent=2))
         return 0
-    traffic = make_traffic(
-        args.traffic,
-        swing=args.diurnal_swing,
-        period_seconds=args.diurnal_period_s,
-    )
-    fractions = tuple(float(f) for f in args.loads.split(","))
-    points = [
-        run_point(
-            spec, fraction, n_requests=args.requests, seed=args.seed,
-            traffic=traffic,
-        )[0]
-        for fraction in fractions
-    ]
-    if args.traffic == "diurnal":
-        period = (
-            f"{args.diurnal_period_s:g} s" if args.diurnal_period_s is not None
-            else "one cycle per run"
-        )
-        print(f"(traffic: diurnal, swing {args.diurnal_swing:+.0%}, "
-              f"period {period})")
-    print(sweep_table(spec, points).render())
-    best = max_throughput_under_slo(points)
-    if best is None:
-        print(f"\nno swept load meets the {args.slo_ms:g} ms p99 SLO "
-              "(overloaded or SLO below batch latency)")
+    result = exp()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
     else:
-        print(f"\nmax sustainable throughput under the {args.slo_ms:g} ms SLO: "
-              f"{best.throughput_rps:,.0f}/s at {best.load_fraction:.0%} load "
-              f"(p99 {best.p99_seconds * 1e3:.2f} ms)")
-    return 0
-
-
-def _cmd_datacenter(args: argparse.Namespace) -> int:
-    try:
-        return _run_datacenter(args)
-    except ValueError as exc:
-        print(f"datacenter: {exc}", file=sys.stderr)
-        return 2
-
-
-def _run_datacenter(args: argparse.Namespace) -> int:
-    from repro.analysis.datacenter import (
-        StudyConfig,
-        autoscaler_table,
-        provisioning_table,
-        run_study,
-        study_summary,
-    )
-    from repro.datacenter.tco import CostModel
-    from repro.nn.workloads import WORKLOAD_BUILDERS
-
-    if args.workload not in WORKLOAD_BUILDERS:
-        print(f"unknown workload {args.workload!r}; try: "
-              + ", ".join(WORKLOAD_BUILDERS), file=sys.stderr)
-        return 2
-    kinds = tuple(k.strip() for k in args.platforms.split(",") if k.strip())
-    unknown = [k for k in kinds if k not in ("cpu", "gpu", "tpu")]
-    if not kinds or unknown:
-        print(f"platforms must be a subset of cpu,gpu,tpu, got {args.platforms!r}",
-              file=sys.stderr)
-        return 2
-    config = StudyConfig(
-        workload=args.workload,
-        slo_seconds=args.slo_ms * 1e-3,
-        mean_rate=args.rate,
-        swing=args.swing,
-        n_requests=args.requests,
-        seed=args.seed,
-        max_replicas=args.max_replicas,
-        platforms=kinds,
-        router=args.router,
-        cost_model=CostModel(
-            usd_per_kwh=args.usd_per_kwh,
-            pue=args.pue,
-            capex_usd_per_tdp_watt=args.capex_per_watt,
-        ),
-    )
-    result = run_study(config)
-    print(provisioning_table(result).render())
-    print()
-    print(autoscaler_table(result).render())
-    summary = study_summary(result)
-    if summary:
-        print()
-        print(summary)
+        print(result)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import main as report_main
+    from repro.analysis.report import report_cli
 
-    return report_main(["report", args.output])
+    return report_cli(args.output, only=args.only, jobs=args.jobs)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import ServeScenario, SpecError, run
+
+    try:
+        if args.config:
+            scenario = _load_config(args.config, "serve", ("serve",))
+        else:
+            if args.trace and (args.traffic is not None or args.loads is not None):
+                ignored = [
+                    flag for flag, value in
+                    (("--traffic", args.traffic), ("--loads", args.loads))
+                    if value is not None
+                ]
+                print(f"serve: --trace replays recorded arrivals; ignoring "
+                      f"{'/'.join(ignored)}", file=sys.stderr)
+            scenario = ServeScenario(
+                workload=args.workload,
+                platform=args.platform,
+                replicas=args.replicas,
+                slo_ms=args.slo_ms,
+                policy=args.policy,
+                batch=args.batch,
+                timeout_ms=args.timeout_ms,
+                router=args.router,
+                loads=tuple(
+                    float(f)
+                    for f in (args.loads or _SERVE_DEFAULT_LOADS).split(",")
+                ),
+                requests=args.requests,
+                seed=args.seed,
+                traffic=args.traffic or _SERVE_DEFAULT_TRAFFIC,
+                diurnal_swing=args.diurnal_swing,
+                diurnal_period_s=args.diurnal_period_s,
+                trace=args.trace,
+            )
+        result = run(scenario)
+    except (SpecError, ValueError, OSError) as exc:
+        # Bad loads/SLO/trace inputs carry their own message; surface it
+        # as a CLI error, not a traceback.
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
+def _cmd_datacenter(args: argparse.Namespace) -> int:
+    from repro.api import DatacenterScenario, SpecError, run
+
+    try:
+        if args.config:
+            scenario = _load_config(args.config, "datacenter", ("datacenter",))
+        else:
+            scenario = DatacenterScenario(
+                workload=args.workload,
+                slo_ms=args.slo_ms,
+                platforms=tuple(
+                    k.strip() for k in args.platforms.split(",") if k.strip()
+                ),
+                rate=args.rate,
+                swing=args.swing,
+                requests=args.requests,
+                max_replicas=args.max_replicas,
+                router=args.router,
+                seed=args.seed,
+                usd_per_kwh=args.usd_per_kwh,
+                pue=args.pue,
+                capex_per_watt=args.capex_per_watt,
+            )
+        result = run(scenario)
+    except (SpecError, ValueError, OSError) as exc:
+        print(f"datacenter: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
+def _add_scenario_io(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", default=None, metavar="SCENARIO.json",
+                        help="load the scenario from a JSON config file "
+                             "(other scenario flags are ignored)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the structured ScenarioResult as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,22 +225,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads and experiments").set_defaults(
-        fn=_cmd_list
-    )
+    lister = sub.add_parser("list", help="list workloads, experiments, "
+                                         "and scenario kinds")
+    lister.add_argument("--json", action="store_true",
+                        help="dump the registries (with default specs) as JSON")
+    lister.set_defaults(fn=_cmd_list)
 
     profile = sub.add_parser("profile", help="simulate one workload")
-    profile.add_argument("app", help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1")
+    profile.add_argument("app", nargs="?", default=None,
+                         help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1")
     profile.add_argument("--weight-bits", type=int, default=8, choices=(8, 16))
     profile.add_argument("--activation-bits", type=int, default=8, choices=(8, 16))
+    _add_scenario_io(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     experiment = sub.add_parser("experiment", help="regenerate one table/figure")
     experiment.add_argument("exp_id", help="e.g. table6, figure9, tpu_prime")
+    experiment.add_argument("--spec", action="store_true",
+                            help="print the experiment's default scenario "
+                                 "spec instead of running it")
+    experiment.add_argument("--json", action="store_true",
+                            help="print the ExperimentResult (text + "
+                                 "measured + paper dicts) as JSON")
     experiment.set_defaults(fn=_cmd_experiment)
 
     report = sub.add_parser("report", help="regenerate the full report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    report.add_argument("--only", default=None, metavar="IDS",
+                        help="comma-separated experiment ids (default: all)")
+    report.add_argument("--jobs", type=int, default=1,
+                        help="run experiments across N processes (default 1)")
     report.set_defaults(fn=_cmd_report)
 
     serve = sub.add_parser(
@@ -263,15 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch collection timeout for the timeout policy")
     serve.add_argument("--router", default="round_robin",
                        choices=("round_robin", "jsq"))
-    serve.add_argument("--loads", default="0.3,0.5,0.7,0.8,0.9,0.95",
-                       help="offered loads as fractions of fleet capacity")
+    serve.add_argument("--loads", default=None,
+                       help="offered loads as fractions of fleet capacity "
+                            f"(default {_SERVE_DEFAULT_LOADS})")
     serve.add_argument("--requests", type=int, default=20000,
                        help="requests simulated per operating point")
     serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("--traffic", default="poisson",
+    serve.add_argument("--traffic", default=None,
                        choices=("poisson", "diurnal", "uniform"),
                        help="arrival process for the load sweep "
-                            "(default poisson)")
+                            f"(default {_SERVE_DEFAULT_TRAFFIC})")
     serve.add_argument("--diurnal-swing", type=float, default=0.5,
                        help="diurnal load swing in [0, 1) around the mean "
                             "(default 0.5)")
@@ -281,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", default=None,
                        help="replay an arrival trace file (one timestamp/line) "
                             "instead of sweeping Poisson loads")
+    _add_scenario_io(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     datacenter = sub.add_parser(
@@ -317,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="power usage effectiveness (default 1.5)")
     datacenter.add_argument("--capex-per-watt", type=float, default=12.0,
                             help="CapEx per provisioned TDP Watt (default 12)")
+    _add_scenario_io(datacenter)
     datacenter.set_defaults(fn=_cmd_datacenter)
     return parser
 

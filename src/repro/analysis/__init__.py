@@ -1,12 +1,17 @@
 """The experiment harness: regenerate every table and figure.
 
 Each ``table*``/``figure*`` module exposes ``run() -> ExperimentResult``;
-the registry maps experiment ids to those callables, and
-:mod:`repro.analysis.report` renders the whole evaluation (EXPERIMENTS.md
-is generated from it).
+the registry maps experiment ids to :class:`repro.api.Experiment`
+entries -- still zero-argument callables (``EXPERIMENTS[id]()``), but
+carrying a title and, where the experiment is a parameter study, the
+default :class:`ScenarioSpec` it runs with (introspectable via
+``repro list --json`` / ``repro experiment <id> --spec``).
+:mod:`repro.analysis.report` renders the whole evaluation with
+per-experiment error isolation (EXPERIMENTS.md is generated from it).
 """
 
 from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.api.experiment import Experiment
 
 from repro.analysis import (  # noqa: E402  (registry population)
     figure2,
@@ -31,30 +36,50 @@ from repro.analysis import (  # noqa: E402  (registry population)
     datacenter,
 )
 
-#: Experiment id -> zero-argument callable returning ExperimentResult.
-EXPERIMENTS = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "table5": table5.run,
-    "table6": table6.run,
-    "table7": table7.run,
-    "table8": table8.run,
-    "figure2": figure2.run,
-    "figure4": figure4.run,
-    "figure5": figure5.run,
-    "figure6": figure6.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "figure9": figure9.run,
-    "figure10": figure10.run,
-    "figure11": figure11.run,
-    "tpu_prime": extras.run_tpu_prime,
-    "boost_mode": extras.run_boost_mode,
-    "server_scale": extras.run_server_scale,
-    "serving_sweep": serving.run,
-    "datacenter_provisioning": datacenter.run,
+#: Experiment id -> callable Experiment returning ExperimentResult.
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (
+        Experiment("table1", "Six-application inference workload", table1.run),
+        Experiment("table2", "TPU vs Haswell vs K80 chip comparison", table2.run),
+        Experiment("table3", "TPU cycle breakdown per workload", table3.run),
+        Experiment("table4", "Batch caps under the 7 ms SLO", table4.run),
+        Experiment("table5", "Host time share of TPU serving", table5.run),
+        Experiment("table6", "Relative inference performance per die", table6.run),
+        Experiment("table7", "Performance/Watt comparison", table7.run),
+        Experiment("table8", "Unified Buffer occupancy", table8.run),
+        Experiment("figure2", "Systolic data flow", figure2.run),
+        Experiment("figure4", "Systolic array timing", figure4.run),
+        Experiment("figure5", "TPU roofline", figure5.run),
+        Experiment("figure6", "Haswell roofline", figure6.run),
+        Experiment("figure7", "K80 roofline", figure7.run),
+        Experiment("figure8", "All platforms, one roofline", figure8.run),
+        Experiment("figure9", "Relative performance rollup", figure9.run),
+        Experiment("figure10", "Energy proportionality curves", figure10.run),
+        Experiment("figure11", "TPU' design-space what-ifs", figure11.run),
+        Experiment("tpu_prime", "TPU' memory-bandwidth uplift", extras.run_tpu_prime),
+        Experiment("boost_mode", "K80 boost-mode trade-off", extras.run_boost_mode),
+        Experiment("server_scale", "Server-scale speedup", extras.run_server_scale),
+        Experiment(
+            "serving_sweep",
+            "Datacenter serving: p99 vs throughput at fleet scale",
+            serving.run,
+            scenario=serving.DEFAULT_SCENARIO,
+            honors=serving.HONORED_FIELDS,
+        ),
+        Experiment(
+            "datacenter_provisioning",
+            "Energy-aware capacity planning, autoscaling, and TCO",
+            datacenter.run,
+            scenario=datacenter.DEFAULT_SCENARIO,
+        ),
+    )
 }
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "platforms", "workloads"]
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentResult",
+    "platforms",
+    "workloads",
+]

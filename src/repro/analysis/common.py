@@ -28,6 +28,18 @@ class ExperimentResult:
     def __str__(self) -> str:
         return f"== {self.exp_id}: {self.title} ==\n{self.text}"
 
+    def to_dict(self) -> dict:
+        """JSON-safe dump (tuple keys stringified, numpy scalars unwrapped)."""
+        from repro.api.result import jsonable
+
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "text": self.text,
+            "measured": jsonable(self.measured),
+            "paper": jsonable(self.paper),
+        }
+
 
 @lru_cache(maxsize=1)
 def workloads() -> dict[str, Model]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.api.spec import DatacenterScenario
 from repro.datacenter.autoscaler import (
     AutoscaleConfig,
     PredictivePolicy,
@@ -78,6 +79,36 @@ class StudyResult:
     outcomes: list[PolicyOutcome]
 
 
+#: The experiment's default spec (smaller than the CLI defaults so the
+#: full report regenerates quickly).
+DEFAULT_SCENARIO = DatacenterScenario(
+    workload="mlp0",
+    slo_ms=SLA_SECONDS.get("mlp0", 7e-3) * 1e3,
+    requests=8000,
+    max_replicas=16,
+)
+
+
+def study_config(scenario: DatacenterScenario) -> StudyConfig:
+    """A declarative scenario -> the study's internal configuration."""
+    return StudyConfig(
+        workload=scenario.workload,
+        slo_seconds=scenario.slo_seconds,
+        mean_rate=scenario.rate,
+        swing=scenario.swing,
+        n_requests=scenario.requests,
+        seed=scenario.seed,
+        max_replicas=scenario.max_replicas,
+        platforms=tuple(scenario.platforms),
+        router=scenario.router,
+        cost_model=CostModel(
+            usd_per_kwh=scenario.usd_per_kwh,
+            pue=scenario.pue,
+            capex_usd_per_tdp_watt=scenario.capex_per_watt,
+        ),
+    )
+
+
 def _spec(config: StudyConfig, kind: str) -> FleetSpec:
     return FleetSpec(
         platform=platforms()[kind],
@@ -130,6 +161,17 @@ def run_study(config: StudyConfig) -> StudyResult:
     )
 
 
+def fig10_die_ratio(kind: str, workload: str, utilization: float) -> float:
+    """The die-level Figure 10 anchor: P(u)/P(1) at the achieved load.
+
+    Shared by the rendered table and the structured rows so the two can
+    never disagree on the clamping/rounding recipe.
+    """
+    return platform_curve(kind, workload).ratio_at(
+        round(min(utilization, 1.0), 6)
+    )
+
+
 def provisioning_table(result: StudyResult) -> TextTable:
     config = result.config
     table = TextTable(
@@ -143,10 +185,7 @@ def provisioning_table(result: StudyResult) -> TextTable:
     )
     for kind, plan in result.plans.items():
         e, s = plan.energy, plan.stats
-        # The die-level Figure 10 anchor: P(u)/P(1) at the achieved load.
-        die_ratio = platform_curve(kind, config.workload).ratio_at(
-            round(min(e.utilization, 1.0), 6)
-        )
+        die_ratio = fig10_die_ratio(kind, config.workload, e.utilization)
         table.add_row([
             kind.upper(),
             plan.replicas,
@@ -216,12 +255,10 @@ def study_summary(result: StudyResult) -> str:
     return "\n".join(lines)
 
 
-def run() -> ExperimentResult:
-    workload = "mlp0"
-    slo = SLA_SECONDS.get(workload, 7e-3)
-    config = StudyConfig(
-        workload=workload, slo_seconds=slo, n_requests=8000, max_replicas=16
-    )
+def run(scenario: DatacenterScenario | None = None) -> ExperimentResult:
+    scenario = scenario or DEFAULT_SCENARIO
+    slo = scenario.slo_seconds
+    config = study_config(scenario)
     result = run_study(config)
     measured: dict = {}
     for kind, plan in result.plans.items():

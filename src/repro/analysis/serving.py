@@ -10,6 +10,7 @@ sustainable throughput under the SLO grows with replicas.
 from __future__ import annotations
 
 from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.api.spec import ServeScenario
 from repro.platforms.base import SLA_SECONDS
 from repro.serving.sweep import (
     FleetSpec,
@@ -19,41 +20,61 @@ from repro.serving.sweep import (
 )
 from repro.util.tables import TextTable
 
-#: Load points and trace length trade report runtime for curve detail.
-LOAD_FRACTIONS = (0.3, 0.6, 0.8, 0.9, 0.95)
-N_REQUESTS = 8000
+#: The spec fields ``run`` reads; platform/replicas/router are swept
+#: internally (all platforms x1, then TPU x1/2/4 on jsq), so overriding
+#: them is rejected by ``Experiment.with_scenario`` rather than ignored.
+HONORED_FIELDS = ("workload", "slo_ms", "policy", "loads", "requests", "seed")
+
+#: The experiment's default spec: load points and trace length trade
+#: report runtime for curve detail.
+DEFAULT_SCENARIO = ServeScenario(
+    workload="mlp0",
+    slo_ms=SLA_SECONDS["mlp0"] * 1e3,
+    policy="adaptive",
+    loads=(0.3, 0.6, 0.8, 0.9, 0.95),
+    requests=8000,
+)
 
 
-def run() -> ExperimentResult:
-    mlp0 = workloads()["mlp0"]
-    slo = SLA_SECONDS["mlp0"]
+def run(scenario: ServeScenario | None = None) -> ExperimentResult:
+    scenario = scenario or DEFAULT_SCENARIO
+    model = workloads()[scenario.workload]
+    slo = scenario.slo_seconds
+    loads = scenario.loads
     sections: list[str] = []
     measured: dict = {}
 
     # One replica per platform: the Table 4 trade-off as a full curve.
     for kind in ("cpu", "gpu", "tpu"):
         spec = FleetSpec(
-            platform=platforms()[kind], model=mlp0, replicas=1,
-            policy="adaptive", slo_seconds=slo,
+            platform=platforms()[kind], model=model, replicas=1,
+            policy=scenario.policy, slo_seconds=slo,
         )
-        points = serving_sweep(spec, LOAD_FRACTIONS, n_requests=N_REQUESTS)
+        points = serving_sweep(
+            spec, loads, n_requests=scenario.requests, seed=scenario.seed
+        )
         sections.append(sweep_table(spec, points).render())
         best = max_throughput_under_slo(points)
         measured[f"{kind}_max_ips_under_slo"] = best.throughput_rps if best else 0.0
         measured[f"{kind}_adaptive_batch"] = spec.max_batch()
 
     # Scale the TPU fleet: sustainable IPS under the SLO vs replicas.
+    slo_ms = scenario.slo_ms
     scale = TextTable(
-        ["TPU replicas", "Router", "Max IPS (p99<=7ms)", "p99 there", "Scaling"],
-        title="Fleet scale-out -- MLP0, SLO-adaptive batching",
+        ["TPU replicas", "Router",
+         f"Max IPS (p99<={slo_ms:g}ms)", "p99 there", "Scaling"],
+        title=f"Fleet scale-out -- {scenario.workload.upper()}, "
+              "SLO-adaptive batching",
     )
     base = None
     for replicas in (1, 2, 4):
         spec = FleetSpec(
-            platform=platforms()["tpu"], model=mlp0, replicas=replicas,
-            policy="adaptive", slo_seconds=slo, router="jsq",
+            platform=platforms()["tpu"], model=model, replicas=replicas,
+            policy=scenario.policy, slo_seconds=slo, router="jsq",
         )
-        points = serving_sweep(spec, LOAD_FRACTIONS, n_requests=N_REQUESTS)
+        points = serving_sweep(
+            spec, loads, n_requests=scenario.requests, seed=scenario.seed
+        )
         best = max_throughput_under_slo(points)
         ips = best.throughput_rps if best else 0.0
         base = ips if base is None else base

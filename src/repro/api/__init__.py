@@ -1,0 +1,47 @@
+"""The unified scenario API: declarative specs in, structured results out.
+
+One vocabulary powers every entry point:
+
+* :mod:`repro.api.spec`   -- frozen, JSON-round-trippable scenario
+  dataclasses (`ProfileScenario`, `ServeScenario`, `DatacenterScenario`)
+  plus `SweepSpec` for cross-product parameter studies;
+* :mod:`repro.api.runner` -- ``run(scenario) -> ScenarioResult``, the
+  single facade the CLI, experiments, and sweeps execute through;
+* :mod:`repro.api.result` -- typed rows + metadata + ``render()``;
+* :mod:`repro.api.experiment` -- registry entries carrying their
+  default spec, for introspection and re-parameterized runs.
+
+Quick start::
+
+    import repro
+    result = repro.run(repro.ServeScenario(workload="mlp0", replicas=4))
+    print(result.render())          # the operating-curve table
+    result.rows[0]["p99_seconds"]   # same data, structured
+"""
+
+from repro.api.experiment import Experiment
+from repro.api.result import ScenarioResult, jsonable
+from repro.api.runner import run
+from repro.api.spec import (
+    DatacenterScenario,
+    ProfileScenario,
+    ScenarioSpec,
+    ServeScenario,
+    SpecError,
+    SweepSpec,
+    load_scenario,
+)
+
+__all__ = [
+    "DatacenterScenario",
+    "Experiment",
+    "ProfileScenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ServeScenario",
+    "SpecError",
+    "SweepSpec",
+    "jsonable",
+    "load_scenario",
+    "run",
+]

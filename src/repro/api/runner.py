@@ -1,0 +1,306 @@
+"""``repro.run(scenario)``: one facade executing any declarative spec.
+
+Dispatches on scenario kind and returns a :class:`ScenarioResult` whose
+``render()`` matches the legacy CLI text for that subcommand and whose
+``rows``/``metadata`` carry the same measurements structurally.  Heavy
+simulator imports happen inside the per-kind runners so that importing
+:mod:`repro.api` (e.g. just to build or validate a spec) stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.result import ScenarioResult
+from repro.api.spec import (
+    DatacenterScenario,
+    ProfileScenario,
+    ScenarioSpec,
+    ServeScenario,
+    SpecError,
+    SweepSpec,
+)
+
+
+def run(scenario: ScenarioSpec) -> ScenarioResult:
+    """Execute any scenario (or sweep of scenarios) and return its result.
+
+    ``repro.run(ServeScenario(...))`` and ``python -m repro serve
+    --config spec.json --json`` produce identical structured results by
+    construction: the CLI is a thin adapter over this function.
+    """
+    if isinstance(scenario, ProfileScenario):
+        return _run_profile(scenario)
+    if isinstance(scenario, ServeScenario):
+        return _run_serve(scenario)
+    if isinstance(scenario, DatacenterScenario):
+        return _run_datacenter(scenario)
+    if isinstance(scenario, SweepSpec):
+        return _run_sweep(scenario)
+    raise SpecError(
+        f"cannot run {type(scenario).__name__}: expected one of "
+        "ProfileScenario, ServeScenario, DatacenterScenario, SweepSpec"
+    )
+
+
+def _run_profile(scenario: ProfileScenario) -> ScenarioResult:
+    from repro.analysis.common import tpu_driver, workloads
+
+    model = workloads()[scenario.workload]
+    driver = tpu_driver()
+    compiled = driver.compile(
+        model,
+        weight_bits=scenario.weight_bits,
+        activation_bits=scenario.activation_bits,
+    )
+    result = driver.profile(compiled)
+    b = result.breakdown
+    ips = driver.ips(compiled, result)
+    ub_mib = compiled.ub_peak_bytes / 2**20
+    text = "\n".join([
+        model.summary(),
+        compiled.program.summary(),
+        f"cycles            : {result.cycles:,.0f} ({result.seconds * 1e3:.2f} ms/batch)",
+        f"array active      : {b.active_fraction:.1%} (useful {b.useful_mac_fraction:.1%})",
+        f"weight stall/shift: {b.weight_stall_fraction:.1%} / {b.weight_shift_fraction:.1%}",
+        f"non-matrix        : {b.non_matrix_fraction:.1%} "
+        f"(RAW {b.raw_stall_fraction:.1%}, input {b.input_stall_fraction:.1%})",
+        f"delivered         : {result.tera_ops:.1f} TOPS",
+        f"throughput        : {ips:,.0f} IPS incl. host",
+        f"Unified Buffer    : {ub_mib:.1f} MiB",
+    ])
+    row = {
+        "workload": scenario.workload,
+        "weight_bits": scenario.weight_bits,
+        "activation_bits": scenario.activation_bits,
+        "cycles": result.cycles,
+        "ms_per_batch": result.seconds * 1e3,
+        "tera_ops": result.tera_ops,
+        "ips": ips,
+        "ub_peak_mib": ub_mib,
+        "active_fraction": b.active_fraction,
+        "useful_mac_fraction": b.useful_mac_fraction,
+        "weight_stall_fraction": b.weight_stall_fraction,
+        "weight_shift_fraction": b.weight_shift_fraction,
+        "non_matrix_fraction": b.non_matrix_fraction,
+    }
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=f"profile {scenario.workload} "
+              f"(W{scenario.weight_bits}/A{scenario.activation_bits})",
+        rows=[row],
+        metadata={"scenario": scenario.to_dict()},
+        text=text,
+    )
+
+
+def _serve_fleet_spec(scenario: ServeScenario) -> tuple[Any, int | None, tuple[str, ...]]:
+    """Resolve a :class:`FleetSpec` plus (batch, advisory notes)."""
+    from repro.analysis.common import platforms, workloads
+    from repro.serving.sweep import FleetSpec
+
+    platform = platforms()[scenario.platform]
+    model = workloads()[scenario.workload]
+    batch = scenario.batch
+    notes: tuple[str, ...] = ()
+    if batch is None and scenario.policy in ("fixed", "timeout"):
+        batch = platform.latency_bounded_batch(model, scenario.slo_seconds)
+        notes = (f"(batch not given; using latency-bounded batch {batch})",)
+    timeout = (
+        scenario.timeout_ms * 1e-3 if scenario.timeout_ms is not None else None
+    )
+    spec = FleetSpec(
+        platform=platform,
+        model=model,
+        replicas=scenario.replicas,
+        policy=scenario.policy,
+        slo_seconds=scenario.slo_seconds,
+        batch_size=batch,
+        timeout_seconds=timeout,
+        router=scenario.router,
+    )
+    return spec, batch, notes
+
+
+def _run_serve(scenario: ServeScenario) -> ScenarioResult:
+    from repro.serving import load_trace, make_traffic
+    from repro.serving.sweep import max_throughput_under_slo, run_point, sweep_table
+
+    spec, batch, notes = _serve_fleet_spec(scenario)
+    title = (
+        f"serve {scenario.workload} on {scenario.platform} "
+        f"x{scenario.replicas} ({scenario.policy} batching)"
+    )
+    metadata: dict[str, Any] = {
+        "scenario": scenario.to_dict(),
+        "resolved_batch": batch,
+        "max_batch": spec.max_batch(),
+        "capacity_rps": spec.capacity_rps(),
+    }
+
+    if scenario.trace is not None:
+        arrivals = load_trace(scenario.trace)
+        result = spec.build().run(arrivals)
+        stats = result.stats(slo_seconds=spec.slo_seconds)
+        text = "\n".join([
+            f"trace {scenario.trace}: {stats.completed} requests over "
+            f"{arrivals[-1]:.3f} s on {spec.platform.name} x{spec.replicas}",
+            f"  throughput {stats.throughput_rps:,.0f}/s  "
+            f"p50 {stats.p50_seconds * 1e3:.2f} ms  "
+            f"p99 {stats.p99_seconds * 1e3:.2f} ms  "
+            f"util {stats.utilization:.0%}  "
+            f"SLO misses {stats.slo_miss_fraction:.1%}",
+        ])
+        row = {
+            "trace": scenario.trace,
+            "completed": stats.completed,
+            "horizon_seconds": float(arrivals[-1]),
+            "throughput_rps": stats.throughput_rps,
+            "p50_seconds": stats.p50_seconds,
+            "p99_seconds": stats.p99_seconds,
+            "mean_seconds": stats.mean_seconds,
+            "utilization": stats.utilization,
+            "slo_miss_fraction": stats.slo_miss_fraction,
+            "mean_batch": stats.mean_batch,
+        }
+        metadata["mode"] = "trace"
+        return ScenarioResult(
+            kind=scenario.kind, title=title, rows=[row],
+            metadata=metadata, text=text, notes=notes,
+        )
+
+    traffic = make_traffic(
+        scenario.traffic,
+        swing=scenario.diurnal_swing,
+        period_seconds=scenario.diurnal_period_s,
+    )
+    points = [
+        run_point(
+            spec, fraction, n_requests=scenario.requests, seed=scenario.seed,
+            traffic=traffic,
+        )[0]
+        for fraction in scenario.loads
+    ]
+    sections = []
+    if scenario.traffic == "diurnal":
+        period = (
+            f"{scenario.diurnal_period_s:g} s"
+            if scenario.diurnal_period_s is not None
+            else "one cycle per run"
+        )
+        sections.append(
+            f"(traffic: diurnal, swing {scenario.diurnal_swing:+.0%}, "
+            f"period {period})"
+        )
+    sections.append(sweep_table(spec, points).render())
+    best = max_throughput_under_slo(points)
+    if best is None:
+        summary = (
+            f"no swept load meets the {scenario.slo_ms:g} ms p99 SLO "
+            "(overloaded or SLO below batch latency)"
+        )
+    else:
+        summary = (
+            f"max sustainable throughput under the {scenario.slo_ms:g} ms SLO: "
+            f"{best.throughput_rps:,.0f}/s at {best.load_fraction:.0%} load "
+            f"(p99 {best.p99_seconds * 1e3:.2f} ms)"
+        )
+    metadata["mode"] = "sweep"
+    metadata["best"] = None if best is None else best.to_row()
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=title,
+        rows=[p.to_row() for p in points],
+        metadata=metadata,
+        text="\n".join(sections),
+        summary=summary,
+        notes=notes,
+    )
+
+
+def _run_datacenter(scenario: DatacenterScenario) -> ScenarioResult:
+    from repro.analysis.datacenter import (
+        autoscaler_table,
+        fig10_die_ratio,
+        provisioning_table,
+        run_study,
+        study_config,
+        study_summary,
+    )
+    from repro.datacenter.tco import servers_for
+
+    config = study_config(scenario)
+    result = run_study(config)
+    rows: list[dict[str, Any]] = []
+    for kind, plan in result.plans.items():
+        e, s = plan.energy, plan.stats
+        die_ratio = fig10_die_ratio(kind, config.workload, e.utilization)
+        rows.append({
+            "section": "provisioning",
+            "platform": kind,
+            "replicas": plan.replicas,
+            "servers": servers_for(kind, plan.replicas),
+            "p99_seconds": s.p99_seconds,
+            "meets_slo": plan.meets_slo,
+            "utilization": e.utilization,
+            "avg_watts": e.avg_watts,
+            "peak_watts": e.peak_watts,
+            "power_ratio": e.power_ratio,
+            "fig10_die_ratio": die_ratio,
+            "energy_per_request_j": e.energy_per_request_j,
+            "usd_per_million_requests": plan.cost.usd_per_million_requests,
+        })
+    for o in result.outcomes:
+        rows.append({
+            "section": "autoscaling",
+            "platform": result.autoscaled_kind,
+            "policy": o.policy,
+            "peak_replicas": o.peak_replicas,
+            "mean_powered": o.mean_powered,
+            "p99_seconds": o.stats.p99_seconds,
+            "slo_miss_fraction": o.stats.slo_miss_fraction,
+            "avg_watts": o.energy.avg_watts,
+            "energy_per_request_j": o.energy.energy_per_request_j,
+            "usd_per_million_requests": o.cost.usd_per_million_requests,
+        })
+    text = "\n\n".join([
+        provisioning_table(result).render(),
+        autoscaler_table(result).render(),
+    ])
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=f"datacenter {scenario.workload} "
+              f"({','.join(scenario.platforms)})",
+        rows=rows,
+        metadata={
+            "scenario": scenario.to_dict(),
+            "autoscaled_kind": result.autoscaled_kind,
+            "period_seconds": config.period_seconds,
+        },
+        text=text,
+        summary=study_summary(result),
+    )
+
+
+def _run_sweep(scenario: SweepSpec) -> ScenarioResult:
+    expanded = scenario.expand()
+    axis_names = [name for name, _ in scenario.axes]
+    rows: list[dict[str, Any]] = []
+    sections: list[str] = []
+    notes: list[str] = []
+    for overrides, sub in expanded:
+        sub_result = run(sub)
+        label = ", ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+        sections.append(f"### {label}\n\n{sub_result.render()}")
+        notes.extend(sub_result.notes)
+        for row in sub_result.rows:
+            rows.append({"sweep": dict(overrides), **row})
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=f"sweep over {', '.join(axis_names)} "
+              f"({len(expanded)} x {scenario.base.kind})",
+        rows=rows,
+        metadata={"scenario": scenario.to_dict(), "points": len(expanded)},
+        text="\n\n".join(sections),
+        notes=tuple(dict.fromkeys(notes)),
+    )

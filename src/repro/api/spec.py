@@ -1,0 +1,397 @@
+"""Declarative scenario specs: the serializable half of every entry point.
+
+The paper's evaluation is one big parameter study -- six workloads x
+three platforms x batching/SLO/power knobs -- so this module separates
+*specification* from *execution* the way TensorFlow separates graph
+construction from running it: a scenario is a frozen dataclass that
+round-trips through JSON (``to_dict``/``from_dict``/``to_json``), is
+validated on construction with actionable errors, and is executed by
+:func:`repro.api.runner.run`.  The CLI, the experiment registry, and
+sweep drivers all speak this one vocabulary, so a new study is a config
+file, not a code change.
+
+Specs are deliberately lightweight: they name workloads and platforms
+by string and validate against the registries lazily, so importing (or
+fuzzing) a spec never builds a model or compiles a program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+#: Scenario ``kind`` -> concrete spec class, populated by subclassing.
+_SCENARIO_KINDS: dict[str, type["ScenarioSpec"]] = {}
+
+PLATFORM_KINDS = ("cpu", "gpu", "tpu")
+BATCH_POLICIES = ("adaptive", "fixed", "timeout")
+ROUTERS = ("round_robin", "jsq")
+TRAFFIC_KINDS = ("poisson", "diurnal", "uniform")
+
+
+class SpecError(ValueError):
+    """A scenario failed validation; the message says how to fix it."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _workload_names() -> tuple[str, ...]:
+    # Lazy: spec construction must stay import-light.
+    from repro.nn.workloads import WORKLOAD_NAMES
+
+    return WORKLOAD_NAMES
+
+
+def _check_workload(name: object) -> None:
+    _require(isinstance(name, str),
+             f"workload must be a string, got {name!r}")
+    names = _workload_names()
+    _require(name in names,
+             f"unknown workload {name!r}; valid workloads: {', '.join(names)}")
+
+
+def _check_choice(field: str, value: object, choices: tuple[Any, ...]) -> None:
+    _require(value in choices,
+             f"{field} must be one of "
+             f"{', '.join(str(c) for c in choices)}; got {value!r}")
+
+
+def _check_positive(field: str, value: object, integer: bool = False) -> None:
+    kind = "a positive integer" if integer else "a positive number"
+    ok = isinstance(value, int) if integer else isinstance(value, (int, float))
+    _require(ok and value > 0, f"{field} must be {kind}, got {value!r}")
+
+
+def _check_optional_positive(field: str, value: object, integer: bool = False) -> None:
+    if value is not None:
+        _check_positive(field, value, integer=integer)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Base class: a declarative, JSON-serializable description of a run.
+
+    Subclasses set ``kind`` (the dispatch tag in serialized form) and
+    implement ``validate``; construction always validates, so a spec
+    that exists is a spec that can run.
+    """
+
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            _SCENARIO_KINDS[cls.kind] = cls
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        raise NotImplementedError
+
+    def replace(self, **overrides: Any) -> "ScenarioSpec":
+        """A copy with fields overridden (re-validated on construction)."""
+        return dataclasses.replace(self, **overrides)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            data[f.name] = _plain(value)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Reconstruct any scenario from its ``to_dict`` form.
+
+        Dispatches on ``data["kind"]`` when called on the base class;
+        called on a subclass, the kind (if present) must match.
+        """
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"a scenario must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        kind = payload.pop("kind", None)
+        target: type[ScenarioSpec]
+        if cls is ScenarioSpec:
+            _require(isinstance(kind, str),
+                     f"scenario dict needs a string 'kind' (got {kind!r}); "
+                     "valid kinds: " + ", ".join(sorted(_SCENARIO_KINDS)))
+            target = _SCENARIO_KINDS.get(kind)  # type: ignore[assignment]
+            if target is None:
+                raise SpecError(
+                    f"unknown scenario kind {kind!r}; valid kinds: "
+                    + ", ".join(sorted(_SCENARIO_KINDS))
+                )
+        else:
+            target = cls
+            _require(kind is None or kind == cls.kind,
+                     f"kind {kind!r} does not match {cls.kind!r} "
+                     f"(use ScenarioSpec.from_dict to dispatch on kind)")
+        field_names = {f.name for f in dataclasses.fields(target)}
+        unknown = sorted(set(payload) - field_names)
+        _require(not unknown,
+                 f"unknown field(s) {', '.join(unknown)} for {target.kind!r} "
+                 f"scenario; valid fields: {', '.join(sorted(field_names))}")
+        try:
+            return target(**payload)
+        except TypeError as exc:
+            raise SpecError(f"invalid {target.kind!r} scenario: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"scenario is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def _plain(value: Any) -> Any:
+    """Fields -> JSON-native values (tuples become lists, specs dicts)."""
+    if isinstance(value, ScenarioSpec):
+        return value.to_dict()
+    if isinstance(value, (tuple, list)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def _set(spec: ScenarioSpec, field: str, value: Any) -> None:
+    object.__setattr__(spec, field, value)
+
+
+def _float_tuple(field: str, value: Any) -> tuple[float, ...]:
+    _require(isinstance(value, (tuple, list)) and len(value) > 0,
+             f"{field} must be a non-empty sequence of numbers, got {value!r}")
+    out = []
+    for v in value:
+        _require(isinstance(v, (int, float)),
+                 f"{field} entries must be numbers, got {v!r}")
+        out.append(float(v))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ProfileScenario(ScenarioSpec):
+    """One workload through nn -> compiler -> core (the ``profile`` command)."""
+
+    kind: ClassVar[str] = "profile"
+
+    workload: str = "mlp0"
+    weight_bits: int = 8
+    activation_bits: int = 8
+
+    def validate(self) -> None:
+        if isinstance(self.workload, str):
+            _set(self, "workload", self.workload.lower())
+        _check_workload(self.workload)
+        _check_choice("weight_bits", self.weight_bits, (8, 16))
+        _check_choice("activation_bits", self.activation_bits, (8, 16))
+
+
+@dataclass(frozen=True)
+class ServeScenario(ScenarioSpec):
+    """A fleet serving run: load sweep or trace replay under a p99 SLO."""
+
+    kind: ClassVar[str] = "serve"
+
+    workload: str = "mlp0"
+    platform: str = "tpu"
+    replicas: int = 1
+    slo_ms: float = 7.0
+    policy: str = "adaptive"
+    batch: int | None = None
+    timeout_ms: float | None = None
+    router: str = "round_robin"
+    loads: tuple[float, ...] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95)
+    requests: int = 20000
+    seed: int = 0
+    traffic: str = "poisson"
+    diurnal_swing: float = 0.5
+    diurnal_period_s: float | None = None
+    #: When set, replay this arrival-trace file instead of sweeping loads.
+    trace: str | None = None
+
+    @property
+    def slo_seconds(self) -> float:
+        return self.slo_ms * 1e-3
+
+    def validate(self) -> None:
+        if isinstance(self.workload, str):
+            _set(self, "workload", self.workload.lower())
+        _check_workload(self.workload)
+        _check_choice("platform", self.platform, PLATFORM_KINDS)
+        _check_positive("replicas", self.replicas, integer=True)
+        _check_positive("slo_ms", self.slo_ms)
+        _check_choice("policy", self.policy, BATCH_POLICIES)
+        _check_optional_positive("batch", self.batch, integer=True)
+        _check_optional_positive("timeout_ms", self.timeout_ms)
+        _check_choice("router", self.router, ROUTERS)
+        _set(self, "loads", _float_tuple("loads", self.loads))
+        _check_positive("requests", self.requests, integer=True)
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+        _check_choice("traffic", self.traffic, TRAFFIC_KINDS)
+        _require(
+            isinstance(self.diurnal_swing, (int, float))
+            and 0 <= self.diurnal_swing < 1,
+            f"diurnal_swing must be in [0, 1), got {self.diurnal_swing!r}",
+        )
+        _check_optional_positive("diurnal_period_s", self.diurnal_period_s)
+        _require(self.trace is None or isinstance(self.trace, str),
+                 f"trace must be a file path or null, got {self.trace!r}")
+
+
+@dataclass(frozen=True)
+class DatacenterScenario(ScenarioSpec):
+    """Energy-aware capacity planning: provision, autoscale, and price."""
+
+    kind: ClassVar[str] = "datacenter"
+
+    workload: str = "mlp0"
+    slo_ms: float = 7.0
+    platforms: tuple[str, ...] = ("cpu", "gpu", "tpu")
+    rate: float = 20000.0
+    swing: float = 0.6
+    requests: int = 20000
+    max_replicas: int = 32
+    router: str = "jsq"
+    seed: int = 0
+    usd_per_kwh: float = 0.10
+    pue: float = 1.5
+    capex_per_watt: float = 12.0
+
+    @property
+    def slo_seconds(self) -> float:
+        return self.slo_ms * 1e-3
+
+    def validate(self) -> None:
+        if isinstance(self.workload, str):
+            _set(self, "workload", self.workload.lower())
+        _check_workload(self.workload)
+        _check_positive("slo_ms", self.slo_ms)
+        _require(isinstance(self.platforms, (tuple, list)) and len(self.platforms) > 0,
+                 f"platforms must be a non-empty subset of "
+                 f"{','.join(PLATFORM_KINDS)}, got {self.platforms!r}")
+        _set(self, "platforms", tuple(str(k) for k in self.platforms))
+        unknown = [k for k in self.platforms if k not in PLATFORM_KINDS]
+        _require(not unknown,
+                 f"platforms must be a subset of {','.join(PLATFORM_KINDS)}, "
+                 f"got {','.join(self.platforms)!r}")
+        _check_positive("rate", self.rate)
+        _require(isinstance(self.swing, (int, float)) and 0 <= self.swing < 1,
+                 f"swing must be in [0, 1), got {self.swing!r}")
+        _check_positive("requests", self.requests, integer=True)
+        _check_positive("max_replicas", self.max_replicas, integer=True)
+        _check_choice("router", self.router, ROUTERS)
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+        _check_positive("usd_per_kwh", self.usd_per_kwh)
+        _require(isinstance(self.pue, (int, float)) and self.pue >= 1.0,
+                 f"pue must be >= 1.0 (power usage effectiveness), "
+                 f"got {self.pue!r}")
+        _check_positive("capex_per_watt", self.capex_per_watt)
+
+
+def _norm_axis_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_norm_axis_value(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class SweepSpec(ScenarioSpec):
+    """Cross-product any scenario fields over a base scenario.
+
+    ``axes`` maps field names to candidate values; ``expand`` yields one
+    validated scenario per combination (batch-size/load/replica sweeps
+    as data, not loops in code)::
+
+        SweepSpec(base=ServeScenario(), axes={"replicas": (1, 2, 4)})
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    base: ScenarioSpec = None  # type: ignore[assignment]
+    #: Normalized to a name-sorted tuple of (field, values) pairs.
+    axes: Any = ()
+
+    def validate(self) -> None:
+        if isinstance(self.base, Mapping):
+            _set(self, "base", ScenarioSpec.from_dict(self.base))
+        _require(isinstance(self.base, ScenarioSpec),
+                 f"sweep base must be a scenario (or its dict form), "
+                 f"got {self.base!r}")
+        _require(not isinstance(self.base, SweepSpec),
+                 "sweeps cannot nest: base must be a concrete scenario")
+        items = self.axes.items() if isinstance(self.axes, Mapping) else self.axes
+        try:
+            pairs = [(str(name), values) for name, values in items]
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"axes must map field names to value lists, got {self.axes!r}"
+            ) from exc
+        _require(len(pairs) > 0,
+                 "axes must name at least one field to sweep")
+        field_names = {f.name for f in dataclasses.fields(self.base)}
+        normalized = []
+        for name, values in sorted(pairs):
+            _require(name in field_names,
+                     f"{name!r} is not a field of the {self.base.kind!r} "
+                     f"scenario; sweepable fields: {', '.join(sorted(field_names))}")
+            _require(isinstance(values, (list, tuple)) and len(values) > 0,
+                     f"axis {name!r} needs a non-empty list of values, "
+                     f"got {values!r}")
+            normalized.append((name, tuple(_norm_axis_value(v) for v in values)))
+        _set(self, "axes", tuple(normalized))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base": self.base.to_dict(),
+            "axes": {name: _plain(list(values)) for name, values in self.axes},
+        }
+
+    def expand(self) -> list[tuple[dict[str, Any], ScenarioSpec]]:
+        """Every (overrides, scenario) combination, validated eagerly."""
+        names = [name for name, _ in self.axes]
+        combos = itertools.product(*(values for _, values in self.axes))
+        expanded = []
+        for combo in combos:
+            overrides = dict(zip(names, combo))
+            expanded.append((overrides, self.base.replace(**overrides)))
+        return expanded
+
+    def __len__(self) -> int:
+        out = 1
+        for _, values in self.axes:
+            out *= len(values)
+        return out
+
+
+def scenario_kinds() -> tuple[str, ...]:
+    """The registered scenario kinds (``from_dict`` dispatch tags)."""
+    return tuple(sorted(_SCENARIO_KINDS))
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Read a scenario (any kind) from a JSON config file."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        return ScenarioSpec.from_json(text)
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from exc

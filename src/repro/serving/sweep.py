@@ -9,6 +9,7 @@ number a capacity planner actually provisions against.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable
 from dataclasses import dataclass
 from functools import cached_property
@@ -39,6 +40,13 @@ class OperatingPoint:
     mean_batch: float
     slo_miss_fraction: float
     meets_slo: bool
+
+    def to_row(self) -> dict[str, float | bool]:
+        """The point as a JSON-native row (numpy scalars unwrapped)."""
+        return {
+            name: value.item() if hasattr(value, "item") else value
+            for name, value in dataclasses.asdict(self).items()
+        }
 
 
 @dataclass(frozen=True)

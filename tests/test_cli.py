@@ -1,5 +1,7 @@
 """CLI smoke tests."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -63,3 +65,116 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["--help"])
         assert "serve" in capsys.readouterr().out
+
+    def test_serve_trace_warns_on_ignored_flags(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("".join(f"{i * 1e-3}\n" for i in range(200)))
+        assert main([
+            "serve", "--workload", "mlp0", "--platform", "cpu",
+            "--trace", str(trace), "--traffic", "diurnal", "--loads", "0.5",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "ignoring --traffic/--loads" in err
+
+    def test_serve_trace_without_flags_does_not_warn(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("".join(f"{i * 1e-3}\n" for i in range(200)))
+        assert main([
+            "serve", "--workload", "mlp0", "--platform", "cpu",
+            "--trace", str(trace),
+        ]) == 0
+        assert "ignoring" not in capsys.readouterr().err
+
+
+class TestScenarioCLI:
+    """--config/--json adapters over the repro.run facade."""
+
+    def test_serve_config_json_matches_facade(self, tmp_path, capsys):
+        import repro
+
+        spec = repro.ServeScenario(
+            workload="mlp0", platform="cpu", loads=(0.5, 0.9), requests=500,
+            seed=1,
+        )
+        config = tmp_path / "scenario.json"
+        config.write_text(spec.to_json())
+        assert main(["serve", "--config", str(config), "--json"]) == 0
+        cli = json.loads(capsys.readouterr().out)
+        lib = json.loads(json.dumps(repro.run(spec).to_dict()))
+        assert cli == lib
+        assert cli["kind"] == "serve"
+        assert len(cli["rows"]) == 2
+
+    def test_serve_flags_and_config_agree(self, tmp_path, capsys):
+        config = tmp_path / "scenario.json"
+        config.write_text(json.dumps({
+            "kind": "serve", "workload": "mlp0", "platform": "cpu",
+            "loads": [0.5], "requests": 400,
+        }))
+        assert main(["serve", "--config", str(config)]) == 0
+        from_config = capsys.readouterr().out
+        assert main([
+            "serve", "--workload", "mlp0", "--platform", "cpu",
+            "--loads", "0.5", "--requests", "400",
+        ]) == 0
+        assert capsys.readouterr().out == from_config
+
+    def test_serve_config_wrong_kind(self, tmp_path, capsys):
+        config = tmp_path / "scenario.json"
+        config.write_text(json.dumps({"kind": "datacenter"}))
+        assert main(["serve", "--config", str(config)]) == 2
+        assert "datacenter" in capsys.readouterr().err
+
+    def test_serve_config_missing_file(self, tmp_path, capsys):
+        assert main(["serve", "--config", str(tmp_path / "nope.json")]) == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_serve_sweep_config(self, tmp_path, capsys):
+        config = tmp_path / "sweep.json"
+        config.write_text(json.dumps({
+            "kind": "sweep",
+            "base": {"kind": "serve", "workload": "mlp0", "platform": "cpu",
+                     "loads": [0.5], "requests": 300},
+            "axes": {"replicas": [1, 2]},
+        }))
+        assert main(["serve", "--config", str(config), "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["kind"] == "sweep"
+        assert [row["sweep"]["replicas"] for row in result["rows"]] == [1, 2]
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "mlp0", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["kind"] == "profile"
+        assert result["rows"][0]["tera_ops"] > 0
+
+    def test_profile_without_app_or_config(self, capsys):
+        assert main(["profile"]) == 2
+        assert "--config" in capsys.readouterr().err
+
+    def test_experiment_spec_introspection(self, capsys):
+        assert main(["experiment", "serving_sweep", "--spec"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["parameterized"] is True
+        assert description["scenario"]["kind"] == "serve"
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        registry = json.loads(capsys.readouterr().out)
+        assert "mlp0" in registry["workloads"]
+        assert "table6" in registry["experiments"]
+        assert "sweep" in registry["scenario_kinds"]
+
+    def test_report_only_subset_with_jobs(self, tmp_path, capsys):
+        target = tmp_path / "subset.md"
+        assert main([
+            "report", str(target), "--only", "table1,table2", "--jobs", "2",
+        ]) == 0
+        text = target.read_text()
+        assert "## table1" in text and "## table2" in text
+
+    def test_report_unknown_only_id(self, tmp_path, capsys):
+        assert main([
+            "report", str(tmp_path / "r.md"), "--only", "table99",
+        ]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
