@@ -9,8 +9,9 @@ text.  ``python -m repro serve --config spec.json --json`` and
 
 Commands:
 
-* ``profile <app>``     -- compile a Table-1 workload and print its cycle
-  breakdown (Table 3 style);
+* ``profile <app>``     -- compile any registered workload (Table 1 six
+  or a transformer extension) and print its cycle breakdown (Table 3
+  style);
 * ``experiment <id>``   -- regenerate one table/figure (e.g. ``table6``);
   ``--spec`` introspects its default scenario;
 * ``report [path]``     -- regenerate every experiment into a markdown
@@ -67,18 +68,22 @@ def _load_config(path: str, command: str, kinds: tuple[str, ...]):
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.analysis import EXPERIMENTS
     from repro.api.spec import scenario_kinds
-    from repro.nn.workloads import WORKLOAD_BUILDERS
+    from repro.nn.workloads import EXTENSION_WORKLOAD_NAMES, PAPER_WORKLOAD_NAMES
 
     if args.json:
         print(json.dumps({
-            "workloads": list(WORKLOAD_BUILDERS),
+            "workloads": list(PAPER_WORKLOAD_NAMES) + list(EXTENSION_WORKLOAD_NAMES),
+            "paper_workloads": list(PAPER_WORKLOAD_NAMES),
+            "extension_workloads": list(EXTENSION_WORKLOAD_NAMES),
             "experiments": {
                 exp_id: exp.describe() for exp_id, exp in EXPERIMENTS.items()
             },
             "scenario_kinds": list(scenario_kinds()),
         }, indent=2))
         return 0
-    print("workloads:  " + ", ".join(WORKLOAD_BUILDERS))
+    print("paper workloads (Table 1): " + ", ".join(PAPER_WORKLOAD_NAMES))
+    print("extension workloads:       " + ", ".join(EXTENSION_WORKLOAD_NAMES)
+          + "  (see docs/WORKLOADS.md)")
     print("experiments: " + ", ".join(EXPERIMENTS))
     print("scenarios:  " + ", ".join(scenario_kinds())
           + "  (see `--config`/`--json` on profile/serve/datacenter)")
@@ -98,7 +103,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 activation_bits=args.activation_bits,
             )
         else:
-            print("profile: give a workload (mlp0|mlp1|lstm0|lstm1|cnn0|cnn1) "
+            print("profile: give a workload (see `python -m repro list`) "
                   "or --config scenario.json", file=sys.stderr)
             return 2
         result = run(scenario)
@@ -233,7 +238,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = sub.add_parser("profile", help="simulate one workload")
     profile.add_argument("app", nargs="?", default=None,
-                         help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1")
+                         help="a workload name, e.g. mlp0|lstm1|cnn0|bert_s|gpt_s "
+                              "(`repro list` shows all)")
     profile.add_argument("--weight-bits", type=int, default=8, choices=(8, 16))
     profile.add_argument("--activation-bits", type=int, default=8, choices=(8, 16))
     _add_scenario_io(profile)
@@ -265,7 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
         "curve plus the max sustainable throughput under the SLO.",
     )
     serve.add_argument("--workload", default="mlp0",
-                       help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1 (default mlp0)")
+                       help="any workload from `repro list`, e.g. mlp0 or "
+                            "bert_s (default mlp0)")
     serve.add_argument("--platform", default="tpu", choices=("cpu", "gpu", "tpu"))
     serve.add_argument("--replicas", type=int, default=1,
                        help="number of accelerator replicas (default 1)")
@@ -314,7 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         "predictive autoscaling on the largest fleet.",
     )
     datacenter.add_argument("--workload", default="mlp0",
-                            help="mlp0|mlp1|lstm0|lstm1|cnn0|cnn1 (default mlp0)")
+                            help="any workload from `repro list` (default mlp0)")
     datacenter.add_argument("--slo-ms", type=float, default=7.0,
                             help="p99 response-time limit in ms (paper: 7)")
     datacenter.add_argument("--platforms", default="cpu,gpu,tpu",

@@ -34,6 +34,7 @@ from repro.analysis import (  # noqa: E402  (registry population)
     extras,
     serving,
     datacenter,
+    transformer,
 )
 
 #: Experiment id -> callable Experiment returning ExperimentResult.
@@ -72,6 +73,11 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Energy-aware capacity planning, autoscaling, and TCO",
             datacenter.run,
             scenario=datacenter.DEFAULT_SCENARIO,
+        ),
+        Experiment(
+            "transformer_roofline",
+            "Transformer workloads on the TPU roofline (extension)",
+            transformer.run,
         ),
     )
 }

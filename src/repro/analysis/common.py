@@ -8,7 +8,7 @@ from functools import lru_cache
 from repro.core.device import ExecutionResult
 from repro.compiler.driver import CompiledModel, TPUDriver
 from repro.nn.graph import Model
-from repro.nn.workloads import paper_workloads
+from repro.nn.workloads import build_workload, paper_workloads
 from repro.platforms.base import Platform
 from repro.platforms.cpu import HaswellPlatform
 from repro.platforms.gpu import K80Platform
@@ -43,7 +43,21 @@ class ExperimentResult:
 
 @lru_cache(maxsize=1)
 def workloads() -> dict[str, Model]:
+    """The Table 1 six only -- every paper-parity surface iterates this."""
     return paper_workloads()
+
+
+@lru_cache(maxsize=None)
+def workload(name: str) -> Model:
+    """Resolve any registered workload (paper or extension) by name.
+
+    Paper names return the shared cached instances (so the TPU driver's
+    compile cache keeps hitting); extensions are built and cached here.
+    """
+    models = workloads()
+    if name in models:
+        return models[name]
+    return build_workload(name)
 
 
 @lru_cache(maxsize=1)

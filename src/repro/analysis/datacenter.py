@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.analysis.common import ExperimentResult, platforms, workload
 from repro.api.spec import DatacenterScenario
 from repro.datacenter.autoscaler import (
     AutoscaleConfig,
@@ -112,7 +112,7 @@ def study_config(scenario: DatacenterScenario) -> StudyConfig:
 def _spec(config: StudyConfig, kind: str) -> FleetSpec:
     return FleetSpec(
         platform=platforms()[kind],
-        model=workloads()[config.workload],
+        model=workload(config.workload),
         replicas=1,
         policy="adaptive",
         slo_seconds=config.slo_seconds,

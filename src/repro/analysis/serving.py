@@ -9,7 +9,7 @@ sustainable throughput under the SLO grows with replicas.
 
 from __future__ import annotations
 
-from repro.analysis.common import ExperimentResult, platforms, workloads
+from repro.analysis.common import ExperimentResult, platforms, workload
 from repro.api.spec import ServeScenario
 from repro.platforms.base import SLA_SECONDS
 from repro.serving.sweep import (
@@ -38,7 +38,7 @@ DEFAULT_SCENARIO = ServeScenario(
 
 def run(scenario: ServeScenario | None = None) -> ExperimentResult:
     scenario = scenario or DEFAULT_SCENARIO
-    model = workloads()[scenario.workload]
+    model = workload(scenario.workload)
     slo = scenario.slo_seconds
     loads = scenario.loads
     sections: list[str] = []

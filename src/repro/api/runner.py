@@ -44,9 +44,9 @@ def run(scenario: ScenarioSpec) -> ScenarioResult:
 
 
 def _run_profile(scenario: ProfileScenario) -> ScenarioResult:
-    from repro.analysis.common import tpu_driver, workloads
+    from repro.analysis.common import tpu_driver, workload
 
-    model = workloads()[scenario.workload]
+    model = workload(scenario.workload)
     driver = tpu_driver()
     compiled = driver.compile(
         model,
@@ -96,11 +96,11 @@ def _run_profile(scenario: ProfileScenario) -> ScenarioResult:
 
 def _serve_fleet_spec(scenario: ServeScenario) -> tuple[Any, int | None, tuple[str, ...]]:
     """Resolve a :class:`FleetSpec` plus (batch, advisory notes)."""
-    from repro.analysis.common import platforms, workloads
+    from repro.analysis.common import platforms, workload
     from repro.serving.sweep import FleetSpec
 
     platform = platforms()[scenario.platform]
-    model = workloads()[scenario.workload]
+    model = workload(scenario.workload)
     batch = scenario.batch
     notes: tuple[str, ...] = ()
     if batch is None and scenario.policy in ("fixed", "timeout"):

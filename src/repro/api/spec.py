@@ -52,9 +52,11 @@ def _workload_names() -> tuple[str, ...]:
 def _check_workload(name: object) -> None:
     _require(isinstance(name, str),
              f"workload must be a string, got {name!r}")
-    names = _workload_names()
-    _require(name in names,
-             f"unknown workload {name!r}; valid workloads: {', '.join(names)}")
+    if name in _workload_names():
+        return
+    from repro.nn.workloads import unknown_workload_message
+
+    raise SpecError(unknown_workload_message(name))
 
 
 def _check_choice(field: str, value: object, choices: tuple[Any, ...]) -> None:

@@ -56,12 +56,14 @@ from repro.nn.layers import (
     Conv2D,
     FullyConnected,
     LayerKind,
+    LayerNorm,
     LSTMCell,
+    MultiHeadAttention,
     Pooling,
     VectorOp,
 )
 from repro.nn.quantization import TensorScale
-from repro.nn.reference import QuantizedParams
+from repro.nn.reference import QuantizedParams, unsupported_functional_kinds
 
 ROW_BYTES = 256
 #: UB row index at which the systolic-data-setup address space begins.
@@ -189,6 +191,15 @@ class Lowering:
                 "functional execution is 8-bit; 16-bit modes are for timing "
                 "studies (the paper's half/quarter-speed cases)"
             )
+        if params is not None:
+            unsupported = unsupported_functional_kinds(model)
+            if unsupported:
+                raise NotImplementedError(
+                    f"{model.name}: attention/norm layers "
+                    f"({', '.join(unsupported)}) compile on the timing path "
+                    "only; the functional int8 contract covers the Table 1 "
+                    "layer kinds"
+                )
         self.model = model
         self.config = config
         self.params = params
@@ -340,10 +351,20 @@ class Lowering:
         self._setup_toggle += 1
         return SETUP_BASE + bank * SETUP_BANK_STRIDE, bank
 
-    def _weight_tiles(self, layer_name: str, k: int, n: int) -> dict[int, list[tuple[int, int, int, int, int]]]:
-        """Register tiles; returns {n0: [(tile_id, k0, k_ext, n0, n_ext)]}."""
+    def _weight_tiles(
+        self, layer_name: str, k: int, n: int, dynamic: bool = False
+    ) -> dict[int, list[tuple[int, int, int, int, int]]]:
+        """Register tiles; returns {n0: [(tile_id, k0, k_ext, n0, n_ext)]}.
+
+        ``dynamic`` registers activation-sourced (dataless) tiles: one
+        :class:`TileSpec` per coordinate, shared by every Read_Weights
+        that re-stages it (attention reloads the same-shaped K^T/V
+        blocks once per head per example), and marked so the weight path
+        charges packed bytes, not the padded 64 KiB a trained tile
+        streams.
+        """
         weight = None
-        if self.params is not None and layer_name in self.params.weights:
+        if not dynamic and self.params is not None and layer_name in self.params.weights:
             weight = self.params.weights[layer_name].data
         stripes: dict[int, list[tuple[int, int, int, int, int]]] = {}
         for coord in tile_matmul(k, n, self.dim):
@@ -353,7 +374,9 @@ class Lowering:
                 data = np.ascontiguousarray(
                     weight[coord.k0 : coord.k0 + coord.k, coord.n0 : coord.n0 + coord.n]
                 )
-            self._tiles[tile_id] = TileSpec(tile_id=tile_id, rows=coord.k, cols=coord.n, data=data)
+            self._tiles[tile_id] = TileSpec(
+                tile_id=tile_id, rows=coord.k, cols=coord.n, data=data, dynamic=dynamic
+            )
             stripes.setdefault(coord.n0, []).append((tile_id, coord.k0, coord.k, coord.n0, coord.n))
         return stripes
 
@@ -365,11 +388,17 @@ class Lowering:
         rows: int,
         acc_base: int,
         convolve: bool = False,
+        rw_reads: tuple[int, ...] = (),
     ) -> None:
-        """Emit the Read_Weights + MatrixMultiply K-loop of one stripe."""
+        """Emit the Read_Weights + MatrixMultiply K-loop of one stripe.
+
+        ``rw_reads`` carries the tokens a *dynamic* tile's staging reads
+        (the activations it is built from); static weight fetches have no
+        UB dependencies.
+        """
         for seq, (tile_id, k0, _k_ext, _n0, _n_ext) in enumerate(stripe):
             group = k0 // self.dim
-            self._emit(ReadWeights(tile_id=tile_id))
+            self._emit(ReadWeights(tile_id=tile_id), InstrDeps(reads=rw_reads))
             acc_writes, acc_war = (
                 self._acc_write(acc_base, rows) if seq == 0 else ((), ())
             )
@@ -438,6 +467,21 @@ class Lowering:
             src_t = stage
 
         stripes = self._weight_tiles(layer.name, k, n)
+        if layer.tokens > 1:
+            # Per-token projection (transformer FFN): every token row of
+            # every example streams through the same resident tiles, so
+            # the whole (batch * tokens) row block is chunked like a
+            # convolution instead of looping time steps.
+            self._emit_rows_matmul(
+                stripes,
+                src_t,
+                out_t,
+                total_rows=batch * layer.tokens,
+                rows_per_example=layer.tokens,
+                scale_id=scale_id,
+                function=layer.activation,
+            )
+            return
         for t in range(layer.steps):
             row0 = t * batch if layer.steps > 1 else 0
             for n0, stripe in stripes.items():
@@ -463,6 +507,247 @@ class Lowering:
                     ),
                     InstrDeps(reads=acc_reads, writes=writes, war=war),
                 )
+
+    def _emit_rows_matmul(
+        self,
+        stripes: dict[int, list[tuple[int, int, int, int, int]]],
+        src_t: LoweredTensor,
+        out_t: LoweredTensor,
+        total_rows: int,
+        rows_per_example: int,
+        scale_id: int,
+        function: Activation,
+    ) -> None:
+        """Stream ``total_rows`` of ``src_t`` through resident weight
+        stripes into ``out_t``, chunked to the accumulator banks (the
+        shared engine behind per-token FCs and attention projections)."""
+        chunk = min(total_rows, self.acc_bank_rows, 65535)
+        if rows_per_example <= chunk:
+            chunk = (chunk // rows_per_example) * rows_per_example
+        chunk = max(chunk, 1)
+        for r0 in range(0, total_rows, chunk):
+            rows = min(chunk, total_rows - r0)
+            for n0, stripe in stripes.items():
+                n_ext = stripe[0][4]
+                acc_base = self._next_acc_bank()
+                self._matmul_pass(
+                    stripe,
+                    lambda g, r=r0, rr=rows: self._read_tensor_range(
+                        src_t, r, rr, g * ROW_BYTES, ROW_BYTES
+                    ),
+                    lambda g, r=r0: src_t.group_row(g, r),
+                    rows,
+                    acc_base,
+                )
+                acc_reads = self._acc_read(acc_base, rows)
+                writes, war = self._write_tensor_range(out_t, r0, rows, n0, n_ext)
+                self._emit(
+                    Activate(
+                        acc_row=acc_base,
+                        ub_row=out_t.group_row(n0 // self.dim, r0),
+                        rows=rows,
+                        lanes=n_ext,
+                        function=function,
+                        scale_id=scale_id,
+                    ),
+                    InstrDeps(reads=acc_reads, writes=writes, war=war),
+                )
+
+    def _lower_attention(
+        self, index: int, layer: MultiHeadAttention, in_t: LoweredTensor, out_t: LoweredTensor
+    ) -> None:
+        """Multi-head self-attention on a weight-stationary 256x256 MXU.
+
+        Emission order mirrors :meth:`MultiHeadAttention.matmuls_per_example`:
+
+        1. fused QKV projection (static tiles, all token rows chunked);
+        2. per (head, example): stage K_h^T as a *dynamic* tile, score
+           matmul, softmax (and causal mask-add) on the vector path;
+        3. per (head, example): stage V_h, context matmul into the
+           example-major ``.ctx`` scratch;
+        4. one vector gather restoring step-major head-concat order;
+        5. output projection (static tiles).
+
+        Score/context operands are activations, so each (head, example)
+        pair re-stages its tiles -- the tile-reload and 256-cycle-shift
+        traffic this emits is exactly why small dynamic matmuls waste a
+        big weight-stationary array (the Section 7 argument, replayed on
+        a 2018 workload).  Functional execution is gated upstream; the
+        emission is timing- and dependency-faithful.
+        """
+        batch = self.model.batch_size
+        t, d = layer.seq_len, layer.embed_dim
+        heads, dh = layer.num_heads, layer.head_dim
+        in_scale, w_scale, out_scale = self._layer_scales(index)
+        qkv_t = self._get_tensor(f"{layer.name}.qkv")
+        score_ts = (
+            self._get_tensor(f"{layer.name}.score0"),
+            self._get_tensor(f"{layer.name}.score1"),
+        )
+        ctx_t = self._get_tensor(f"{layer.name}.ctx")
+        cat_t = self._get_tensor(f"{layer.name}.cat")
+
+        qkv_scale = self._add_scale(ScaleEntry(in_scale, in_scale, w_scale))
+        score_scale = self._add_scale(ScaleEntry(in_scale, in_scale))
+        out_scale_id = self._add_scale(ScaleEntry(in_scale, out_scale, w_scale))
+
+        # 1. Fused QKV projection: (d, 3d) static tiles over all tokens.
+        qkv_stripes = self._weight_tiles(f"{layer.name}.qkv_w", d, 3 * d)
+        self._emit_rows_matmul(
+            qkv_stripes, in_t, qkv_t,
+            total_rows=batch * t, rows_per_example=t,
+            scale_id=qkv_scale, function=Activation.NONE,
+        )
+
+        # 2-3. Per-head, per-example score and context matmuls.  Tile
+        # shapes are shared; every (head, example) re-stages them.  Row
+        # streams are cut to the accumulator bank like every other
+        # matmul path (long sequences exceed the 2048-row bank).
+        score_stripes = self._weight_tiles(f"{layer.name}.k", dh, t, dynamic=True)
+        ctx_stripes = self._weight_tiles(f"{layer.name}.v", t, dh, dynamic=True)
+        chunk = min(t, self.acc_bank_rows)
+        q_col = lambda h: h * dh  # noqa: E731
+        k_col = lambda h: d + h * dh  # noqa: E731
+        v_col = lambda h: 2 * d + h * dh  # noqa: E731
+        for h in range(heads):
+            # The QKV tensor is complete before these loops and never
+            # rewritten, so its read tokens are loop-invariant per head.
+            q_tokens = self._read_tensor_range(qkv_t, 0, qkv_t.rows, q_col(h), dh)
+            k_tokens = self._read_tensor_range(qkv_t, 0, qkv_t.rows, k_col(h), dh)
+            v_tokens = self._read_tensor_range(qkv_t, 0, qkv_t.rows, v_col(h), dh)
+            for b in range(batch):
+                score_t = score_ts[(h * batch + b) % 2]
+                # Score matmul: Q_h(example) @ staged K_h^T.
+                for r0 in range(0, t, chunk):
+                    rows = min(chunk, t - r0)
+                    for n0, stripe in score_stripes.items():
+                        n_ext = stripe[0][4]
+                        acc_base = self._next_acc_bank()
+                        self._matmul_pass(
+                            stripe,
+                            lambda g, toks=q_tokens: toks,
+                            lambda g, r=r0: qkv_t.group_row(q_col(h) // self.dim, r),
+                            rows,
+                            acc_base,
+                            rw_reads=k_tokens,
+                        )
+                        acc_reads = self._acc_read(acc_base, rows)
+                        writes, war = self._write_tensor_range(score_t, r0, rows, n0, n_ext)
+                        self._emit(
+                            Activate(
+                                acc_row=acc_base,
+                                ub_row=score_t.group_row(n0 // self.dim, r0),
+                                rows=rows,
+                                lanes=n_ext,
+                                function=Activation.NONE,
+                                scale_id=score_scale,
+                            ),
+                            InstrDeps(reads=acc_reads, writes=writes, war=war),
+                        )
+                if layer.causal:
+                    # Mask-add before softmax (no sparsity: full cost).
+                    reads = self._read_tensor_range(score_t, 0, t)
+                    writes, war = self._write_tensor_range(score_t, 0, t)
+                    self._emit(
+                        VectorInstruction(
+                            kind=VectorKind.UNARY,
+                            src_row=score_t.base_row,
+                            dst_row=score_t.base_row,
+                            rows=t,
+                            lanes=min(t, 65535),
+                            scale_id=score_scale,
+                            function=Activation.NONE,
+                        ),
+                        InstrDeps(reads=reads, writes=writes, war=war),
+                    )
+                # Softmax over each query row's scores.
+                reads = self._read_tensor_range(score_t, 0, t)
+                writes, war = self._write_tensor_range(score_t, 0, t)
+                self._emit(
+                    VectorInstruction(
+                        kind=VectorKind.SOFTMAX,
+                        src_row=score_t.base_row,
+                        dst_row=score_t.base_row,
+                        rows=t,
+                        lanes=min(t, 65535),
+                        scale_id=score_scale,
+                    ),
+                    InstrDeps(reads=reads, writes=writes, war=war),
+                )
+                # Context matmul: softmax(scores) @ staged V_h, written
+                # example-major into the ctx scratch.
+                prob_tokens = self._read_tensor_range(score_t, 0, t)
+                for r0 in range(0, t, chunk):
+                    rows = min(chunk, t - r0)
+                    for n0, stripe in ctx_stripes.items():
+                        n_ext = stripe[0][4]
+                        acc_base = self._next_acc_bank()
+                        self._matmul_pass(
+                            stripe,
+                            lambda g, toks=prob_tokens: toks,
+                            lambda g, r=r0: score_t.group_row(g, r),
+                            rows,
+                            acc_base,
+                            rw_reads=v_tokens,
+                        )
+                        acc_reads = self._acc_read(acc_base, rows)
+                        writes, war = self._write_tensor_range(
+                            ctx_t, b * t + r0, rows, q_col(h), dh
+                        )
+                        self._emit(
+                            Activate(
+                                acc_row=acc_base,
+                                ub_row=ctx_t.group_row(q_col(h) // self.dim, b * t + r0),
+                                rows=rows,
+                                lanes=n_ext,
+                                function=Activation.NONE,
+                                scale_id=score_scale,
+                            ),
+                            InstrDeps(reads=acc_reads, writes=writes, war=war),
+                        )
+
+        # 4. Head-concat gather: restore step-major token order.
+        reads = self._read_tensor_range(ctx_t, 0, ctx_t.rows)
+        writes, war = self._write_tensor_range(cat_t, 0, cat_t.rows)
+        self._emit(
+            VectorInstruction(
+                kind=VectorKind.UNARY,
+                src_row=ctx_t.base_row,
+                dst_row=cat_t.base_row,
+                rows=min(ctx_t.rows, 65535),
+                lanes=min(d, 65535),
+                scale_id=score_scale,
+                function=Activation.NONE,
+            ),
+            InstrDeps(reads=reads, writes=writes, war=war),
+        )
+
+        # 5. Output projection: (d, d) static tiles.
+        out_stripes = self._weight_tiles(f"{layer.name}.out_w", d, d)
+        self._emit_rows_matmul(
+            out_stripes, cat_t, out_t,
+            total_rows=batch * t, rows_per_example=t,
+            scale_id=out_scale_id, function=Activation.NONE,
+        )
+
+    def _lower_norm(
+        self, index: int, layer: LayerNorm, in_t: LoweredTensor, out_t: LoweredTensor
+    ) -> None:
+        in_scale, _w, out_scale = self._layer_scales(index)
+        scale_id = self._add_scale(ScaleEntry(in_scale, out_scale))
+        reads = self._read_tensor_range(in_t, 0, in_t.rows)
+        writes, war = self._write_tensor_range(out_t, 0, out_t.rows)
+        self._emit(
+            VectorInstruction(
+                kind=VectorKind.LAYER_NORM,
+                src_row=in_t.base_row,
+                dst_row=out_t.base_row,
+                rows=min(in_t.rows, 65535),
+                lanes=min(in_t.width, 65535),
+                scale_id=scale_id,
+            ),
+            InstrDeps(reads=reads, writes=writes, war=war),
+        )
 
     def _lower_conv(self, index: int, layer: Conv2D, in_t: LoweredTensor, out_t: LoweredTensor) -> None:
         batch = self.model.batch_size
@@ -739,6 +1024,10 @@ class Lowering:
                 self._lower_vector(i, layer, current, out_t)
             elif isinstance(layer, Pooling):
                 self._lower_pool(i, layer, current, out_t, current_shape)
+            elif isinstance(layer, MultiHeadAttention):
+                self._lower_attention(i, layer, current, out_t)
+            elif isinstance(layer, LayerNorm):
+                self._lower_norm(i, layer, current, out_t)
             else:
                 raise TypeError(f"cannot lower layer {layer!r}")
             src = model.residual_sources.get(i)
@@ -790,9 +1079,18 @@ class Lowering:
         return LoweringResult(program=program, allocation=allocation, tensors=self._tensors)
 
     def _weight_traffic_bytes(self) -> int:
-        """DRAM bytes moved by the emitted Read_Weights stream (padded)."""
-        reads = sum(1 for i in self._instructions if isinstance(i, ReadWeights))
-        return reads * self.config.tile_bytes
+        """DRAM bytes moved by the emitted Read_Weights stream.
+
+        Static trained tiles stream padded (the full 64 KiB plane);
+        dynamic attention tiles (K^T/V staged per head per example) move
+        their packed bytes only.
+        """
+        total = 0
+        for i in self._instructions:
+            if isinstance(i, ReadWeights):
+                spec = self._tiles[i.tile_id]
+                total += spec.rows * spec.cols if spec.dynamic else self.config.tile_bytes
+        return total
 
     def _declare_staging(self, input_t: LoweredTensor, output_t: LoweredTensor, n_layers: int) -> None:
         """Reserve the driver's batch-staging region for all-FC models.
@@ -830,6 +1128,15 @@ class Lowering:
                 k = layer.input_size + layer.hidden_size
                 self._declare(f"{layer.name}.concat", batch, k, i + 1, i + 1)
                 self._declare(f"{layer.name}.h", batch, layer.hidden_size, i + 1, i + 1)
+            elif isinstance(layer, MultiHeadAttention):
+                t, d = layer.seq_len, layer.embed_dim
+                self._declare(f"{layer.name}.qkv", batch * t, 3 * d, i + 1, i + 1)
+                # Ping-pong score scratch: softmax of pass p overlaps the
+                # score matmul of pass p+1 (same trick as the setup banks).
+                self._declare(f"{layer.name}.score0", t, t, i + 1, i + 1)
+                self._declare(f"{layer.name}.score1", t, t, i + 1, i + 1)
+                self._declare(f"{layer.name}.ctx", batch * t, d, i + 1, i + 1)
+                self._declare(f"{layer.name}.cat", batch * t, d, i + 1, i + 1)
             elif isinstance(layer, FullyConnected):
                 in_shape = self.model.input_shape if i == 0 else shapes[i - 1]
                 in_width = in_shape[-1]

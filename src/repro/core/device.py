@@ -337,14 +337,27 @@ class _Run:
                 # happen with compiler-ordered streams); fall back to the
                 # last known matrix time.
                 slot_free = self.unit_free["matrix"]
-        start = max(self.unit_free["dram"], slot_free)
-        end = start + self.tile_load_cycles
+        # Static weight tiles stream the full padded tile; dynamic tiles
+        # (attention K^T/V staged through Weight Memory) move only their
+        # packed bytes, and must wait for the activations they stage.
+        spec = self.program.tiles.get(instr.tile_id)
+        if spec is not None and spec.dynamic:
+            nbytes = spec.rows * spec.cols
+            load_cycles = self.tile_load_cycles * nbytes / self.config.tile_bytes
+        else:
+            nbytes = self.config.tile_bytes
+            load_cycles = self.tile_load_cycles
+        dep_ready = 0.0
+        if self.deps is not None:
+            dep_ready, _unit, _war = self._dep_times(index)
+        start = max(self.unit_free["dram"], slot_free, dep_ready)
+        end = start + load_cycles
         self.unit_free["dram"] = end
         self.ready_queue.append((instr.tile_id, end))
         self.push_count += 1
         self.counters.add("read_weights_instructions", 1)
         self.counters.add("weight_tiles_loaded", 1)
-        self.counters.add("weight_bytes_read", self.config.tile_bytes)
+        self.counters.add("weight_bytes_read", nbytes)
         self._commit(index, end, "dram")
 
     def _exec_matmul(self, index: int, instr: MatrixMultiply) -> None:
@@ -467,12 +480,8 @@ class _Run:
     # -- vector path ------------------------------------------------------
     def _exec_vector(self, index: int, instr: VectorInstruction) -> None:
         dep_ready, _unit, war_ready = self._dep_times(index)
-        elements = instr.rows * instr.lanes
-        if instr.kind == VectorKind.LSTM_GATE:
-            elements *= 9  # the gating passes (3 sigmoid, 2 tanh, 3 mul, 1 add)
-        elif instr.kind == VectorKind.RESIDUAL_ADD:
-            elements *= 2
-        elif instr.kind == VectorKind.POOL and self.pool_config:
+        elements = instr.rows * instr.lanes * VectorKind.PASSES[instr.kind]
+        if instr.kind == VectorKind.POOL and self.pool_config:
             elements *= self.pool_config["window"] ** 2
         # Patch streaming runs on the dedicated setup block, concurrent
         # with the activation pipeline.
@@ -507,6 +516,11 @@ class _Run:
             self._pool_functional(instr, entry)
         elif instr.kind == VectorKind.IM2COL:
             self._im2col_functional(instr)
+        elif instr.kind in (VectorKind.SOFTMAX, VectorKind.LAYER_NORM):
+            raise NotImplementedError(
+                "softmax/layer-norm execute on the timing path only; the "
+                "functional int8 contract covers the Table 1 layer kinds"
+            )
         else:
             raise ValueError(f"unknown vector kind {instr.kind}")
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.isa.opcodes import Opcode
-from repro.nn.layers import Activation
+from repro.nn.layers import SOFTMAX_PASSES, Activation, LayerNorm
 
 MAX_UB_ROW = (1 << 24) - 1  # 3-byte Unified Buffer row address
 MAX_ACC_ROW = (1 << 16) - 1  # 2-byte accumulator address
@@ -137,15 +137,38 @@ class Activate:
 
 
 class VectorKind:
-    """Fused vector-path operations (patent [Tho15] territory)."""
+    """Fused vector-path operations (patent [Tho15] territory).
+
+    ``SOFTMAX`` and ``LAYER_NORM`` are the transformer extensions: fused
+    row-wise reductions (max/sum or mean/variance) plus the element-wise
+    follow-up, costed as multiple passes over the tensor.  The device
+    executes them on the timing path only -- the functional int8 contract
+    covers the Table 1 kinds.
+    """
 
     UNARY = 0  # UB -> UB element-wise nonlinearity (or copy)
     LSTM_GATE = 1  # gates (acc) + cell state (scratch) -> hidden codes (UB)
     RESIDUAL_ADD = 2  # UB + UB -> UB, requantized
     POOL = 3  # UB -> UB pooling using the configured geometry
     IM2COL = 4  # UB image -> UB matrix rows using the conv geometry
+    SOFTMAX = 5  # UB -> UB row-wise softmax (max, exp, sum, divide)
+    LAYER_NORM = 6  # UB -> UB row-wise layer norm (mean, var, affine)
 
-    ALL = (UNARY, LSTM_GATE, RESIDUAL_ADD, POOL, IM2COL)
+    ALL = (UNARY, LSTM_GATE, RESIDUAL_ADD, POOL, IM2COL, SOFTMAX, LAYER_NORM)
+
+    #: Vector-pipeline passes over (rows x lanes) each kind costs.  The
+    #: transformer entries reference the canonical counts in
+    #: :mod:`repro.nn.layers` so the device timing and the analytic
+    #: layer costs cannot drift apart.
+    PASSES = {
+        UNARY: 1,
+        LSTM_GATE: 9,  # 3 sigmoid, 2 tanh, 3 mul, 1 add
+        RESIDUAL_ADD: 2,
+        POOL: 1,  # scaled by window^2 via the pooling configuration
+        IM2COL: 1,
+        SOFTMAX: SOFTMAX_PASSES,
+        LAYER_NORM: LayerNorm.PASSES,
+    }
 
 
 @dataclass(frozen=True)

@@ -22,12 +22,19 @@ from repro.nn.quantization import TensorScale
 @dataclass(frozen=True)
 class TileSpec:
     """One weight tile: a <=dim x <=dim int8/int16 block, zero-padded on
-    the array.  ``data`` is None for timing-only programs."""
+    the array.  ``data`` is None for timing-only programs.
+
+    ``dynamic`` marks activation-sourced tiles (a transformer layer's
+    K^T/V blocks staged through Weight Memory): they are re-staged per
+    example, so the weight path charges their *packed* bytes rather than
+    the full padded tile a resident trained weight occupies.
+    """
 
     tile_id: int
     rows: int
     cols: int
     data: np.ndarray | None = None
+    dynamic: bool = False
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
@@ -88,10 +95,12 @@ class TPUProgram:
     @property
     def weight_image_bytes(self) -> int:
         """Bytes the weight image occupies in Weight Memory (padded tiles
-        would be larger; tiles are stored packed and padded on read)."""
+        would be larger; tiles are stored packed and padded on read).
+        Dynamic tiles are activation staging areas, not image contents."""
         return sum(
             spec.rows * spec.cols * (1 if spec.data is None or spec.data.dtype == np.int8 else 2)
             for spec in self.tiles.values()
+            if not spec.dynamic
         )
 
     @property

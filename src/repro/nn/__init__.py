@@ -14,7 +14,9 @@ from repro.nn.layers import (
     FullyConnected,
     Layer,
     LayerKind,
+    LayerNorm,
     LSTMCell,
+    MultiHeadAttention,
     Pooling,
     VectorOp,
 )
@@ -22,10 +24,18 @@ from repro.nn.quantization import QuantizedTensor, TensorScale, quantize, dequan
 from repro.nn.reference import ReferenceExecutor
 from repro.nn.workloads import (
     DEPLOYMENT_MIX,
+    EXTENSION_BUILDERS,
+    EXTENSION_WORKLOAD_NAMES,
+    PAPER_BUILDERS,
+    PAPER_WORKLOAD_NAMES,
     WORKLOAD_BUILDERS,
+    bert_l,
+    bert_s,
     build_workload,
     cnn0,
     cnn1,
+    extension_workloads,
+    gpt_s,
     lstm0,
     lstm1,
     mlp0,
@@ -37,11 +47,17 @@ __all__ = [
     "Activation",
     "Conv2D",
     "DEPLOYMENT_MIX",
+    "EXTENSION_BUILDERS",
+    "EXTENSION_WORKLOAD_NAMES",
     "FullyConnected",
     "LSTMCell",
     "Layer",
     "LayerKind",
+    "LayerNorm",
     "Model",
+    "MultiHeadAttention",
+    "PAPER_BUILDERS",
+    "PAPER_WORKLOAD_NAMES",
     "Pooling",
     "QuantizedTensor",
     "ReferenceExecutor",
@@ -49,10 +65,14 @@ __all__ = [
     "TensorScale",
     "VectorOp",
     "WORKLOAD_BUILDERS",
+    "bert_l",
+    "bert_s",
     "build_workload",
     "cnn0",
     "cnn1",
     "dequantize",
+    "extension_workloads",
+    "gpt_s",
     "infer_shapes",
     "lstm0",
     "lstm1",

@@ -99,7 +99,12 @@ class Model:
 
     # -- census (Table 1) --------------------------------------------------
     def layer_census(self) -> dict[str, int]:
-        """Layer counts in Table 1's taxonomy (LSTM cells count as FC)."""
+        """Layer counts in Table 1's taxonomy (LSTM cells count as FC).
+
+        Transformer kinds (attention, norm) postdate the taxonomy; their
+        buckets appear only when present so Table 1's six keep their
+        published census shape.
+        """
         counts = {"fc": 0, "conv": 0, "vector": 0, "pool": 0}
         for layer in self.layers:
             if layer.kind in (LayerKind.FC, LayerKind.LSTM):
@@ -110,6 +115,8 @@ class Model:
                 counts["vector"] += 1
             elif layer.kind is LayerKind.POOL:
                 counts["pool"] += 1
+            elif layer.kind in (LayerKind.ATTENTION, LayerKind.NORM):
+                counts[layer.kind.value] = counts.get(layer.kind.value, 0) + 1
         counts["total"] = sum(counts.values())
         return counts
 
@@ -122,6 +129,9 @@ class Model:
                 for gate_act in (Activation.SIGMOID, Activation.TANH):
                     if gate_act.value not in names:
                         names.append(gate_act.value)
+            elif layer.kind is LayerKind.ATTENTION:
+                if "softmax" not in names:
+                    names.append("softmax")
             elif act not in (Activation.NONE,) and act.value not in names:
                 names.append(act.value)
         return names
@@ -185,10 +195,16 @@ class Model:
 
     def summary(self) -> str:
         census = self.layer_census()
+        parts = [
+            f"FC {census['fc']}", f"conv {census['conv']}",
+            f"vector {census['vector']}", f"pool {census['pool']}",
+        ]
+        for extra in ("attention", "norm"):
+            if census.get(extra):
+                parts.append(f"{extra} {census[extra]}")
         return (
             f"{self.name}: {census['total']} layers "
-            f"(FC {census['fc']}, conv {census['conv']}, vector {census['vector']}, "
-            f"pool {census['pool']}), {self.total_weights / 1e6:.1f}M weights, "
+            f"({', '.join(parts)}), {self.total_weights / 1e6:.1f}M weights, "
             f"batch {self.batch_size}, "
             f"{self.ops_per_weight_byte():.0f} MACs/weight-byte"
         )

@@ -1,4 +1,5 @@
-"""Layer algebra for the six benchmark networks.
+"""Layer algebra for the six benchmark networks and the transformer
+extension family (multi-head attention, layer norm, per-token FC).
 
 Each layer type knows three things:
 
@@ -27,13 +28,17 @@ from typing import Union
 
 
 class LayerKind(str, Enum):
-    """Table 1 layer taxonomy (LSTM cells count as FC there)."""
+    """Table 1 layer taxonomy (LSTM cells count as FC there), extended
+    with the transformer kinds (attention, normalization) that postdate
+    the paper's 2016 workload census."""
 
     FC = "fc"
     CONV = "conv"
     LSTM = "lstm"
     VECTOR = "vector"
     POOL = "pool"
+    ATTENTION = "attention"
+    NORM = "norm"
 
 
 class Activation(str, Enum):
@@ -51,6 +56,13 @@ def _require_positive(**fields: int) -> None:
             raise ValueError(f"{name} must be positive, got {value}")
 
 
+#: Vector-pipeline passes of a fused row-wise softmax (row max,
+#: exp-subtract, row sum, divide).  Canonical count: the ISA's
+#: ``VectorKind.PASSES`` table (device timing) and the analytic layer
+#: costs below both read this.
+SOFTMAX_PASSES = 4
+
+
 @dataclass(frozen=True)
 class FullyConnected:
     """A dense layer: ``y = act(x @ W)`` with W of shape (in, out).
@@ -61,6 +73,14 @@ class FullyConnected:
     its weights are re-read from Weight Memory ``steps`` times per batch.
     A flat input whose total element count equals ``in_features`` is
     flattened implicitly (conv -> FC transitions).
+
+    ``tokens > 1`` marks a *per-token* projection (a transformer FFN or
+    output head): the same weight matrix is applied independently to each
+    of ``tokens`` sequence positions, so an example contributes ``tokens``
+    matmul rows while the weights are still read only once per batch --
+    the amortization that makes transformer prefill compute-bound.
+    ``steps`` and ``tokens`` are mutually exclusive: the first re-reads
+    weights per application, the second shares them.
     """
 
     name: str
@@ -68,13 +88,20 @@ class FullyConnected:
     out_features: int
     activation: Activation = Activation.RELU
     steps: int = 1
+    tokens: int = 1
 
     def __post_init__(self) -> None:
         _require_positive(
             in_features=self.in_features,
             out_features=self.out_features,
             steps=self.steps,
+            tokens=self.tokens,
         )
+        if self.steps > 1 and self.tokens > 1:
+            raise ValueError(
+                f"{self.name}: steps and tokens cannot both exceed 1 "
+                "(recurrent weight re-reads vs shared per-token weights)"
+            )
 
     @property
     def kind(self) -> LayerKind:
@@ -91,11 +118,11 @@ class FullyConnected:
 
     @property
     def rows_per_example(self) -> int:
-        return 1
+        return self.tokens
 
     @property
     def macs_per_example(self) -> int:
-        return self.steps * self.in_features * self.out_features
+        return self.steps * self.tokens * self.in_features * self.out_features
 
     @property
     def vector_elements_per_example(self) -> int:
@@ -108,6 +135,13 @@ class FullyConnected:
                 return (self.steps, self.out_features)
             raise ValueError(
                 f"{self.name}: recurrent FC expects ({self.steps}, "
+                f"{self.in_features}), got {input_shape}"
+            )
+        if self.tokens > 1:
+            if len(input_shape) == 2 and input_shape == (self.tokens, self.in_features):
+                return (self.tokens, self.out_features)
+            raise ValueError(
+                f"{self.name}: per-token FC expects ({self.tokens}, "
                 f"{self.in_features}), got {input_shape}"
             )
         if len(input_shape) > 1 and math.prod(input_shape) == self.in_features:
@@ -355,4 +389,212 @@ class Pooling:
         return (math.ceil(h / self.stride), math.ceil(w / self.stride), c)
 
 
-Layer = Union[FullyConnected, Conv2D, LSTMCell, VectorOp, Pooling]
+@dataclass(frozen=True)
+class AttentionMatmul:
+    """One matmul in an attention layer's decomposition.
+
+    ``count_per_example`` is how many independent (rows x k) @ (k x n)
+    products one example performs (1 for shared-weight projections,
+    ``num_heads`` for the per-head score/context matmuls).  ``dynamic``
+    marks operand matrices built from activations (K^T, V): they carry no
+    trained weights and must be re-staged per example, which is what the
+    compiler and performance model charge to the weight-memory path.
+    """
+
+    label: str
+    rows: int
+    k: int
+    n: int
+    count_per_example: int = 1
+    dynamic: bool = False
+
+    @property
+    def macs_per_example(self) -> int:
+        return self.count_per_example * self.rows * self.k * self.n
+
+
+@dataclass(frozen=True)
+class MultiHeadAttention:
+    """Multi-head self-attention over a ``(seq_len, embed_dim)`` input.
+
+    The layer decomposes exactly the way a weight-stationary MXU has to
+    run it (see :meth:`matmuls_per_example`):
+
+    1. **QKV projection** -- one fused ``(d, 3d)`` weight matmul over the
+       example's ``seq_len`` token rows;
+    2. **scores** -- per head, ``Q_h @ K_h^T``: a ``(T, d_h) @ (d_h, T)``
+       product whose right operand is an *activation*, not a weight;
+    3. **softmax** -- row-wise normalization on the vector path;
+    4. **context** -- per head, ``softmax(scores) @ V_h``;
+    5. **output projection** -- one ``(d, d)`` weight matmul.
+
+    Trained weights are the four projections (``4 d^2``); the score and
+    context operands are dynamic (per-example K/V staged through Weight
+    Memory on a v1-class device), so they contribute MACs but no weight
+    bytes -- the reason prefill operational intensity grows with
+    ``batch * seq_len`` while decode collapses to ``~batch``.
+
+    ``causal`` marks decoder-style masked attention.  A 2016 MXU has no
+    sparsity support, so masking changes the *semantics* (a vector-path
+    mask-add before softmax) but not the matmul cost.
+    """
+
+    name: str
+    embed_dim: int
+    num_heads: int
+    seq_len: int
+    causal: bool = False
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            embed_dim=self.embed_dim,
+            num_heads=self.num_heads,
+            seq_len=self.seq_len,
+        )
+        if self.embed_dim % self.num_heads != 0:
+            raise ValueError(
+                f"{self.name}: embed_dim {self.embed_dim} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ATTENTION
+
+    @property
+    def activation(self) -> Activation:
+        return Activation.NONE  # softmax runs on the vector path
+
+    @property
+    def steps(self) -> int:
+        return 1
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.num_heads
+
+    @property
+    def weight_count(self) -> int:
+        """Trained weights: Q, K, V and output projections (4 d^2)."""
+        return 4 * self.embed_dim * self.embed_dim
+
+    @property
+    def matmul_shape(self) -> tuple[int, int]:
+        """(K, N) of the dominant weight tile: the fused QKV projection.
+
+        The full decomposition (including the dynamic score/context
+        products) is :meth:`matmuls_per_example`.
+        """
+        return (self.embed_dim, 3 * self.embed_dim)
+
+    def matmuls_per_example(self) -> tuple[AttentionMatmul, ...]:
+        """Every matmul one example performs, in execution order."""
+        d, h, t = self.embed_dim, self.num_heads, self.seq_len
+        dh = self.head_dim
+        return (
+            AttentionMatmul("qkv_proj", rows=t, k=d, n=3 * d),
+            AttentionMatmul("scores", rows=t, k=dh, n=t, count_per_example=h, dynamic=True),
+            AttentionMatmul("context", rows=t, k=t, n=dh, count_per_example=h, dynamic=True),
+            AttentionMatmul("out_proj", rows=t, k=d, n=d),
+        )
+
+    @property
+    def rows_per_example(self) -> int:
+        return self.seq_len
+
+    @property
+    def macs_per_example(self) -> int:
+        """Closed form: ``T * 4d^2 + 2 * T^2 * d`` (projections + attention)."""
+        return sum(m.macs_per_example for m in self.matmuls_per_example())
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        """Softmax passes, optional mask-add, and the head concat."""
+        d, h, t = self.embed_dim, self.num_heads, self.seq_len
+        softmax = SOFTMAX_PASSES * h * t * t
+        mask = h * t * t if self.causal else 0
+        concat = t * d
+        return softmax + mask + concat
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 2 or input_shape != (self.seq_len, self.embed_dim):
+            raise ValueError(
+                f"{self.name}: expected ({self.seq_len}, {self.embed_dim}), "
+                f"got {input_shape}"
+            )
+        return input_shape
+
+
+@dataclass(frozen=True)
+class LayerNorm:
+    """Layer normalization over the feature axis of ``(T, F)`` tokens.
+
+    Pure vector-unit work: mean/variance reduction, normalize, and the
+    gamma/beta affine (~5 passes over the tensor).  The affine parameters
+    (2F values) ride in the requantization scale path like biases do, so
+    -- following the repo's biasless Table 1 convention -- they are not
+    counted as Weight Memory traffic.
+    """
+
+    name: str
+    features: int
+    seq_len: int
+
+    def __post_init__(self) -> None:
+        _require_positive(features=self.features, seq_len=self.seq_len)
+
+    #: Vector-path passes over the tensor (mean, variance, normalize,
+    #: scale, shift).  Canonical count: ``VectorKind.PASSES`` (device
+    #: timing) and the analytic layer cost both read this.
+    PASSES = 5
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.NORM
+
+    @property
+    def activation(self) -> Activation:
+        return Activation.NONE
+
+    @property
+    def steps(self) -> int:
+        return 1
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+    @property
+    def matmul_shape(self) -> None:
+        return None
+
+    @property
+    def rows_per_example(self) -> int:
+        return 0
+
+    @property
+    def macs_per_example(self) -> int:
+        return 0
+
+    @property
+    def vector_elements_per_example(self) -> int:
+        return self.PASSES * self.seq_len * self.features
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 2 or input_shape != (self.seq_len, self.features):
+            raise ValueError(
+                f"{self.name}: expected ({self.seq_len}, {self.features}), "
+                f"got {input_shape}"
+            )
+        return input_shape
+
+
+Layer = Union[
+    FullyConnected,
+    Conv2D,
+    LSTMCell,
+    VectorOp,
+    Pooling,
+    MultiHeadAttention,
+    LayerNorm,
+]

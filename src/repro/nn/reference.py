@@ -43,6 +43,25 @@ from repro.nn.quantization import (
 # ---------------------------------------------------------------------------
 # deterministic parameters and inputs
 # ---------------------------------------------------------------------------
+def unsupported_functional_kinds(model: Model) -> list[str]:
+    """Layer names whose kinds the functional paths do not execute.
+
+    The bit-exact int8 contract covers the Table 1 six (FC/conv/LSTM/
+    vector/pool).  Transformer layers compile and run on the *timing*
+    path, but their score/context matmuls take activations as the MXU's
+    weight operand, which the functional weight pipeline cannot stage --
+    so functional execution refuses them up front instead of failing
+    deep inside the device.
+    """
+    from repro.nn.layers import LayerKind
+
+    return [
+        layer.name
+        for layer in model.layers
+        if layer.kind in (LayerKind.ATTENTION, LayerKind.NORM)
+    ]
+
+
 def initialize_weights(model: Model, seed: int = 0) -> dict[str, np.ndarray]:
     """Xavier-scaled Gaussian weights for every parametric layer."""
     rng = np.random.default_rng(seed)
@@ -142,6 +161,13 @@ class ReferenceExecutor:
     """Executes a model in float32 or the TPU's exact integer pipeline."""
 
     def __init__(self, model: Model, weights: dict[str, np.ndarray] | None = None) -> None:
+        unsupported = unsupported_functional_kinds(model)
+        if unsupported:
+            raise NotImplementedError(
+                f"{model.name}: functional execution covers the Table 1 "
+                f"layer kinds; attention/norm layers ({', '.join(unsupported)}) "
+                "run on the timing path only (compile without params)"
+            )
         self.model = model
         self.weights = initialize_weights(model) if weights is None else dict(weights)
         missing = [
@@ -188,8 +214,8 @@ class ReferenceExecutor:
     def _fc_float(self, layer: FullyConnected, x: np.ndarray) -> np.ndarray:
         w = np.asarray(self.weights[layer.name], dtype=np.float64)
         batch = x.shape[0]
-        if layer.steps > 1:
-            acc = x @ w  # (B, T, out): weights shared across steps
+        if layer.steps > 1 or layer.tokens > 1:
+            acc = x @ w  # (B, T, out): weights shared across positions
         else:
             flat = x.reshape(batch, -1)
             acc = flat @ w
@@ -269,9 +295,10 @@ class ReferenceExecutor:
         if isinstance(layer, FullyConnected):
             wq = params.weights[layer.name]
             batch = x.shape[0]
-            if layer.steps > 1:
+            positions = max(layer.steps, layer.tokens)
+            if positions > 1:
                 acc = quantized_matmul(x.reshape(-1, x.shape[-1]), wq.data)
-                acc = acc.reshape(batch, layer.steps, layer.out_features)
+                acc = acc.reshape(batch, positions, layer.out_features)
             else:
                 acc = quantized_matmul(x.reshape(batch, -1), wq.data)
             return requantize(acc, in_scale, wq.scale, out_scale, layer.activation)

@@ -1,4 +1,5 @@
-"""The six production-representative applications of Table 1.
+"""The six production-representative applications of Table 1, plus the
+transformer extension family (BERT/GPT-style, post-2016 workloads).
 
 We do not have Google's production models (RankBrain, the GNM Translate
 subset, Inception, AlphaGo), so each builder synthesizes a network whose
@@ -6,6 +7,16 @@ subset, Inception, AlphaGo), so each builder synthesizes a network whose
 weights, TPU batch size, and operational intensity (MACs per weight byte).
 Every conclusion in the paper's evaluation flows through exactly these
 aggregates, so matching them preserves the behaviour that matters.
+
+The registry is split in two tiers (see docs/WORKLOADS.md):
+
+* **paper workloads** (:data:`PAPER_BUILDERS`) -- the Table 1 six.  All
+  paper-parity surfaces (Tables 1-8, Figures 5-11, :data:`DEPLOYMENT_MIX`)
+  are pinned to exactly this set and never see extensions.
+* **extension workloads** (:data:`EXTENSION_BUILDERS`) -- transformer
+  inference (``bert_s``, ``bert_l``, ``gpt_s``), available to profiling,
+  serving, datacenter planning, sweeps, and the ``transformer_roofline``
+  experiment.
 
 Notable calibration points (see DESIGN.md):
 
@@ -28,7 +39,9 @@ from repro.nn.layers import (
     Conv2D,
     FullyConnected,
     Layer,
+    LayerNorm,
     LSTMCell,
+    MultiHeadAttention,
     Pooling,
     VectorOp,
 )
@@ -232,7 +245,121 @@ def cnn1() -> Model:
     )
 
 
-WORKLOAD_BUILDERS: dict[str, Callable[[], Model]] = {
+# ---------------------------------------------------------------------------
+# transformer extension family (not part of any Table 1 surface)
+# ---------------------------------------------------------------------------
+def _transformer_layers(
+    prefix: str,
+    blocks: int,
+    embed_dim: int,
+    num_heads: int,
+    ffn_dim: int,
+    seq_len: int,
+    causal: bool,
+) -> tuple[list[Layer], dict[int, int]]:
+    """Pre-norm transformer blocks: LN -> MHA (+skip) -> LN -> FFN (+skip).
+
+    Returns the layer list and the residual map (attention output adds
+    the block input; the second FFN matmul adds the post-attention
+    tensor), mirroring how CNN1 encodes its skips.
+    """
+    layers: list[Layer] = []
+    residuals: dict[int, int] = {}
+    for b in range(blocks):
+        block_in = len(layers) - 1  # -1 = model input for the first block
+        layers.append(LayerNorm(f"{prefix}{b}_ln0", embed_dim, seq_len))
+        layers.append(
+            MultiHeadAttention(
+                f"{prefix}{b}_attn", embed_dim, num_heads, seq_len, causal=causal
+            )
+        )
+        attn_out = len(layers) - 1
+        residuals[attn_out] = block_in
+        layers.append(LayerNorm(f"{prefix}{b}_ln1", embed_dim, seq_len))
+        layers.append(
+            FullyConnected(
+                f"{prefix}{b}_ffn0", embed_dim, ffn_dim, Activation.RELU, tokens=seq_len
+            )
+        )
+        layers.append(
+            FullyConnected(
+                f"{prefix}{b}_ffn1", ffn_dim, embed_dim, Activation.NONE, tokens=seq_len
+            )
+        )
+        residuals[len(layers) - 1] = attn_out
+    layers.append(LayerNorm(f"{prefix}_ln_final", embed_dim, seq_len))
+    return layers, residuals
+
+
+def _transformer(
+    name: str,
+    blocks: int,
+    embed_dim: int,
+    num_heads: int,
+    seq_len: int,
+    batch_size: int,
+    causal: bool,
+    description: str,
+) -> Model:
+    layers, residuals = _transformer_layers(
+        name, blocks, embed_dim, num_heads, 4 * embed_dim, seq_len, causal
+    )
+    return Model(
+        name=name,
+        layers=tuple(layers),
+        input_shape=(seq_len, embed_dim),
+        batch_size=batch_size,
+        residual_sources=residuals,
+        description=description,
+    )
+
+
+def bert_s(seq_len: int = 128) -> Model:
+    """A small bidirectional encoder: 4 blocks, d=512, 8 heads, ~12.6M
+    weights, batch 16.
+
+    At batch 16 x 128 tokens its prefill operational intensity sits just
+    above the TPU ridge -- the first compute-bound non-CNN workload in
+    the repo.
+    """
+    return _transformer(
+        "bert_s", blocks=4, embed_dim=512, num_heads=8, seq_len=seq_len,
+        batch_size=16, causal=False,
+        description="small BERT-style encoder (extension workload)",
+    )
+
+
+def bert_l(seq_len: int = 128) -> Model:
+    """A larger encoder: 8 blocks, d=768, 12 heads, ~56.6M weights,
+    batch 4 (latency-bound serving keeps the batch small, so its prefill
+    intensity lands *below* the ridge despite the big matmuls)."""
+    return _transformer(
+        "bert_l", blocks=8, embed_dim=768, num_heads=12, seq_len=seq_len,
+        batch_size=4, causal=False,
+        description="large BERT-style encoder (extension workload)",
+    )
+
+
+def gpt_s(seq_len: int = 256) -> Model:
+    """A causal decoder scoring/prefill pass: 6 blocks, d=512, 8 heads,
+    ~18.9M weights, batch 4, 256-token context.
+
+    This models the *prefill* (full-sequence) pass.  Per-token
+    autoregressive decode re-reads every weight per generated token, so
+    its intensity collapses to ~batch like the LSTMs -- that regime is
+    covered analytically by the ``transformer_roofline`` experiment and
+    docs/WORKLOADS.md rather than by instruction-level simulation.
+    """
+    return _transformer(
+        "gpt_s", blocks=6, embed_dim=512, num_heads=8, seq_len=seq_len,
+        batch_size=4, causal=True,
+        description="GPT-style causal decoder, prefill pass (extension workload)",
+    )
+
+
+#: The Table 1 six, in the paper's order.  Every paper-parity surface
+#: (Tables 1-8, Figures, DEPLOYMENT_MIX) draws from exactly this dict.
+PAPER_BUILDERS: dict[str, Callable[[], Model]] = {
     "mlp0": mlp0,
     "mlp1": mlp1,
     "lstm0": lstm0,
@@ -241,23 +368,55 @@ WORKLOAD_BUILDERS: dict[str, Callable[[], Model]] = {
     "cnn1": cnn1,
 }
 
-#: Canonical paper order.
+#: Post-2016 extension workloads: available everywhere *except* the
+#: paper-parity tables/figures and the deployment mix.
+EXTENSION_BUILDERS: dict[str, Callable[[], Model]] = {
+    "bert_s": bert_s,
+    "bert_l": bert_l,
+    "gpt_s": gpt_s,
+}
+
+#: The full registry the CLI, scenario specs, and sweeps resolve against.
+WORKLOAD_BUILDERS: dict[str, Callable[[], Model]] = {
+    **PAPER_BUILDERS,
+    **EXTENSION_BUILDERS,
+}
+
+#: Canonical paper order for the six.
+PAPER_WORKLOAD_NAMES: tuple[str, ...] = tuple(PAPER_BUILDERS)
+
+#: Extension names, in registry order.
+EXTENSION_WORKLOAD_NAMES: tuple[str, ...] = tuple(EXTENSION_BUILDERS)
+
+#: Every buildable workload: the paper six first, then extensions.
 WORKLOAD_NAMES: tuple[str, ...] = tuple(WORKLOAD_BUILDERS)
 
 
+def unknown_workload_message(name: str) -> str:
+    """The shared 'unknown workload' hint, naming both registry tiers."""
+    return (
+        f"unknown workload {name!r}; paper workloads: "
+        f"{', '.join(PAPER_WORKLOAD_NAMES)}; extension workloads: "
+        f"{', '.join(EXTENSION_WORKLOAD_NAMES)}"
+    )
+
+
 def build_workload(name: str) -> Model:
-    """Build one of the six Table 1 applications by (lowercase) name."""
+    """Build any registered workload by (lowercase) name."""
     try:
         return WORKLOAD_BUILDERS[name.lower()]()
     except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_BUILDERS)}"
-        ) from None
+        raise KeyError(unknown_workload_message(name)) from None
 
 
 def paper_workloads() -> dict[str, Model]:
-    """All six applications, keyed by name, in the paper's order."""
-    return {name: builder() for name, builder in WORKLOAD_BUILDERS.items()}
+    """The six Table 1 applications only, keyed by name, in paper order."""
+    return {name: builder() for name, builder in PAPER_BUILDERS.items()}
+
+
+def extension_workloads() -> dict[str, Model]:
+    """The transformer extension family, keyed by name."""
+    return {name: builder() for name, builder in EXTENSION_BUILDERS.items()}
 
 
 def mix_weights(names: tuple[str, ...] | list[str]) -> list[float]:

@@ -21,7 +21,16 @@ from dataclasses import dataclass
 
 from repro.core.config import TPUConfig
 from repro.nn.graph import Model
-from repro.nn.layers import Conv2D, FullyConnected, Layer, LSTMCell, Pooling, VectorOp
+from repro.nn.layers import (
+    Conv2D,
+    FullyConnected,
+    Layer,
+    LayerNorm,
+    LSTMCell,
+    MultiHeadAttention,
+    Pooling,
+    VectorOp,
+)
 
 
 @dataclass(frozen=True)
@@ -135,11 +144,62 @@ def _matmul_layer_cost(
     )
 
 
+def _attention_layer_cost(
+    layer: MultiHeadAttention, batch: int, config: TPUConfig
+) -> LayerCost:
+    """Attention as the sum of its decomposed matmuls plus vector work.
+
+    Static projections behave like per-token FCs (weights resident,
+    rows chunked).  Dynamic score/context operands are re-staged per
+    (head, example): each staging moves its packed bytes through the
+    weight path and pays the shift-engine floor of one tile per ``dim``
+    cycles -- on small tiles that floor, not the row stream, is the
+    binding matrix cost (the Section 7 big-array-vs-small-matmul tax).
+    """
+    dim = config.matrix_dim
+    clock = config.clock_hz
+    tile_loads = 0
+    weight_bytes = 0.0
+    matrix_cycles = 0.0
+    activate_elements = 0.0
+    for m in layer.matmuls_per_example():
+        kt = math.ceil(m.k / dim)
+        nt = math.ceil(m.n / dim)
+        if m.dynamic:
+            stagings = m.count_per_example * batch
+            tile_loads += kt * nt * stagings
+            weight_bytes += stagings * m.k * m.n  # packed, not padded
+            # One staging = one chunk of m.rows rows through kt*nt tiles,
+            # same shift-floor convention as the static branch above.
+            matrix_cycles += stagings * kt * nt * max(m.rows, dim)
+        else:
+            rows = batch * m.rows
+            chunk = _chunk_rows(m.rows, rows, config)
+            chunks = math.ceil(rows / chunk)
+            tile_loads += kt * nt * chunks
+            weight_bytes += kt * nt * chunks * config.tile_bytes
+            matrix_cycles += kt * nt * max(rows, chunks * dim)
+        activate_elements += m.count_per_example * batch * m.rows * m.n
+    vector_elements = activate_elements + batch * layer.vector_elements_per_example
+    return LayerCost(
+        name=layer.name,
+        kind=layer.kind.value,
+        weight_seconds=weight_bytes / config.weight_bandwidth,
+        matrix_seconds=matrix_cycles / clock,
+        vector_seconds=vector_elements / config.activation_lanes / clock,
+        setup_seconds=0.0,
+        tile_loads=tile_loads,
+        useful_macs=batch * layer.macs_per_example,
+    )
+
+
 def layer_cost(layer: Layer, batch: int, config: TPUConfig, shape_in: tuple[int, ...]) -> LayerCost:
     """Model one layer's engine occupancies for a batch."""
     if isinstance(layer, FullyConnected):
         k, n = layer.matmul_shape
-        return _matmul_layer_cost(layer, k, n, 1, layer.steps, batch, config, 0, 0)
+        return _matmul_layer_cost(
+            layer, k, n, layer.rows_per_example, layer.steps, batch, config, 0, 0
+        )
     if isinstance(layer, LSTMCell):
         k, n = layer.matmul_shape
         # Gather copies (x_t and h) plus the 9 gating passes per step.
@@ -150,12 +210,17 @@ def layer_cost(layer: Layer, batch: int, config: TPUConfig, shape_in: tuple[int,
         rows = layer.rows_per_example
         setup = batch * rows * k  # patch bytes streamed through setup
         return _matmul_layer_cost(layer, k, n, rows, 1, batch, config, 0, setup)
-    if isinstance(layer, (VectorOp, Pooling)):
-        elements = batch * math.prod(layer.output_shape(shape_in))
-        if isinstance(layer, Pooling):
-            elements *= layer.window * layer.window
+    if isinstance(layer, MultiHeadAttention):
+        return _attention_layer_cost(layer, batch, config)
+    if isinstance(layer, (VectorOp, Pooling, LayerNorm)):
+        if isinstance(layer, LayerNorm):
+            elements = batch * layer.vector_elements_per_example
         else:
-            elements *= layer.steps
+            elements = batch * math.prod(layer.output_shape(shape_in))
+            if isinstance(layer, Pooling):
+                elements *= layer.window * layer.window
+            else:
+                elements *= layer.steps
         seconds = elements / config.activation_lanes / config.clock_hz
         return LayerCost(
             name=layer.name,

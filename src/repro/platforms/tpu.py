@@ -10,9 +10,11 @@ overhead falls out of exactly this split.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
-from repro.compiler.driver import TPUDriver
+from repro.compiler.allocator import UBOverflowError
+from repro.compiler.driver import CompiledModel, TPUDriver
 from repro.core.config import TPUConfig, TPU_V1
 from repro.nn.graph import Model
 from repro.platforms.base import Platform
@@ -50,6 +52,20 @@ class TPUPlatform(Platform):
         )
 
     # -- simulator access ---------------------------------------------------
+    def _compile_variant(self, model: Model, batch: int) -> CompiledModel | None:
+        """Compile at a batch size; None when the batch cannot be staged.
+
+        A batch whose live tensors overflow the 24 MiB Unified Buffer is
+        physically unservable on this device (the UB-sizing constraint of
+        Section 7); callers see it as infinite service time so batching
+        policies and provisioning searches step around it.
+        """
+        variant = model if batch == model.batch_size else replace(model, batch_size=batch)
+        try:
+            return self.driver.compile(variant)
+        except UBOverflowError:
+            return None
+
     def device_seconds(self, model: Model, batch: int | None = None) -> float:
         """Simulated TPU time for one batch (no host share)."""
         batch = model.batch_size if batch is None else batch
@@ -57,16 +73,18 @@ class TPUPlatform(Platform):
         cached = self._profile_cache.get(key)
         if cached is not None:
             return cached
-        variant = model if batch == model.batch_size else replace(model, batch_size=batch)
-        compiled = self.driver.compile(variant)
-        result = self.driver.profile(compiled)
-        self._profile_cache[key] = result.seconds
-        return result.seconds
+        compiled = self._compile_variant(model, batch)
+        seconds = (
+            math.inf if compiled is None else self.driver.profile(compiled).seconds
+        )
+        self._profile_cache[key] = seconds
+        return seconds
 
     def host_seconds(self, model: Model, batch: int) -> float:
         """Host share per batch: interaction (Table 5) + app-side work."""
-        variant = model if batch == model.batch_size else replace(model, batch_size=batch)
-        compiled = self.driver.compile(variant)
+        compiled = self._compile_variant(model, batch)
+        if compiled is None:
+            return math.inf
         interaction = compiled.host_seconds_per_batch()
         per_example = (
             HOST_PER_EXAMPLE_FIXED_S

@@ -109,7 +109,16 @@ class SLOAdaptiveBatcher(Batcher):
         self.slo_margin = slo_margin
         self.curve = curve
         budget = slo_seconds * service_share
-        fitting = [b for b in sorted(candidates) if curve.latency(b) <= budget]
+        # Batch latency is monotone in batch size on every platform, so
+        # scan upward and stop at the first candidate over budget: on the
+        # TPU each probe compiles and profiles a batch variant, and this
+        # keeps heavyweight workloads (transformer prefill) from paying
+        # for batch sizes the SLO could never admit.
+        fitting: list[int] = []
+        for b in sorted(candidates):
+            if curve.latency(b) > budget:
+                break
+            fitting.append(b)
         # Even when nothing fits (the paper's CPU LSTM case), the service
         # still has to run: serve singletons and miss.
         self.max_batch = fitting[-1] if fitting else min(candidates)

@@ -13,10 +13,38 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "mlp0" in out and "table6" in out
 
+    def test_list_groups_paper_and_extensions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper workloads" in out and "extension workloads" in out
+        assert "bert_s" in out and "gpt_s" in out
+
+    def test_list_json_carries_both_tiers(self, capsys):
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["paper_workloads"] == [
+            "mlp0", "mlp1", "lstm0", "lstm1", "cnn0", "cnn1",
+        ]
+        assert "bert_s" in data["extension_workloads"]
+        assert "transformer_roofline" in data["experiments"]
+
     def test_profile(self, capsys):
         assert main(["profile", "mlp1"]) == 0
         out = capsys.readouterr().out
         assert "TOPS" in out and "Unified Buffer" in out
+
+    def test_profile_transformer(self, capsys):
+        assert main(["profile", "bert_s"]) == 0
+        out = capsys.readouterr().out
+        assert "TOPS" in out and "attention" in out
+
+    def test_serve_transformer(self, capsys):
+        assert main([
+            "serve", "--workload", "gpt_s", "--slo-ms", "20",
+            "--requests", "1500", "--loads", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gpt_s" in out and "p99" in out
 
     def test_profile_precision_flag(self, capsys):
         assert main(["profile", "mlp1", "--activation-bits", "16"]) == 0

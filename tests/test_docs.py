@@ -1,0 +1,42 @@
+"""Documentation integrity: local markdown links must resolve.
+
+This is the single source of the link check; CI runs it both inside
+tier 1 and as its own named step.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = sorted(
+    [REPO / "README.md", REPO / "ROADMAP.md"] + list((REPO / "docs").glob("*.md"))
+)
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)]*)?\)")
+
+
+def local_links(path: Path):
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_local_markdown_links_resolve(doc):
+    missing = [
+        target
+        for target in local_links(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert not missing, f"{doc.relative_to(REPO)}: broken links {missing}"
+
+
+def test_workloads_doc_names_every_workload():
+    from repro.nn.workloads import WORKLOAD_NAMES
+
+    text = (REPO / "docs" / "WORKLOADS.md").read_text()
+    for name in WORKLOAD_NAMES:
+        assert name in text, f"docs/WORKLOADS.md is missing {name}"
