@@ -1,0 +1,26 @@
+"""Entry point for the tracked benchmark harness.
+
+Thin wrapper over :mod:`repro.benchmark` so the harness can be launched
+either way::
+
+    PYTHONPATH=src python benchmarks/harness.py [--quick] [--out BENCH_6.json]
+    PYTHONPATH=src python -m repro bench        [--quick] [--out BENCH_6.json]
+
+(The per-table pytest-benchmark microbenchmarks live alongside this file;
+this harness is the coarse, committed trajectory -- see BENCH_*.json at
+the repo root.)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.benchmark import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

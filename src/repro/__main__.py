@@ -23,6 +23,9 @@ Commands:
 * ``datacenter``        -- energy-aware capacity planning: provision the
   cheapest SLO-feasible fleet per platform under diurnal traffic, price
   it (Watts, joules/request, $/Mreq), and race autoscaling policies;
+* ``bench``             -- time the hot analysis paths (report fan-out,
+  provisioning search, serving sweep) and write a ``BENCH_*.json``
+  trajectory point (``--quick`` for CI-sized scenarios);
 * ``list``              -- list workloads, experiment ids, and scenario
   kinds (``--json`` for the introspectable registry).
 """
@@ -137,6 +140,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import report_cli
 
     return report_cli(args.output, only=args.only, jobs=args.jobs)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchmark import main as bench_main
+
+    argv = ["--out", args.out, "--jobs", str(args.jobs)]
+    if args.quick:
+        argv.append("--quick")
+    return bench_main(argv)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -262,6 +274,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--jobs", type=int, default=1,
                         help="run experiments across N processes (default 1)")
     report.set_defaults(fn=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the hot paths and write a BENCH_*.json trajectory point",
+        description="Tracked benchmark harness: times the report fan-out, "
+        "a datacenter provisioning search (plus its cache-hot re-search), "
+        "and a serving load sweep (plus an identical repeat), recording "
+        "wall seconds and the perfcache hit rate per scenario.",
+    )
+    from repro.benchmark import DEFAULT_OUTPUT
+
+    bench.add_argument("--out", default=DEFAULT_OUTPUT,
+                       help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    bench.add_argument("--quick", action="store_true",
+                       help="small scenarios for CI smoke runs")
+    bench.add_argument("--jobs", type=int, default=4,
+                       help="worker processes for the report bench (default 4)")
+    bench.set_defaults(fn=_cmd_bench)
 
     serve = sub.add_parser(
         "serve",

@@ -79,3 +79,26 @@ def compiled(app: str) -> CompiledModel:
 @lru_cache(maxsize=None)
 def profiled(app: str) -> ExecutionResult:
     return tpu_driver().profile(compiled(app))
+
+
+def warm_shared_caches(curve_workloads: tuple[str, ...] = ("mlp0",)) -> None:
+    """Precompute-then-fork: fill every process-wide cache in the parent.
+
+    ``report --jobs N`` forks its workers (Linux), so anything computed
+    *before* the pool spawns -- the lru-cached workloads/platforms, the
+    TPU driver's compiled programs and profiles, and the
+    :mod:`repro.perfcache` curve entries -- is inherited by every worker
+    for free instead of being recomputed N times.  ``curve_workloads``
+    names the models whose serving curves the experiments sweep.
+    """
+    from repro import perfcache
+    from repro.platforms.base import BATCH_CANDIDATES
+
+    plats = platforms()
+    for app in workloads():
+        profiled(app)
+    for name in curve_workloads:
+        model = workload(name)
+        batches = sorted(set(BATCH_CANDIDATES) | {1, model.batch_size})
+        for platform in plats.values():
+            perfcache.GLOBAL.warm(platform, model, batches)

@@ -1,0 +1,268 @@
+"""Tracked performance benchmarks: the ``BENCH_<n>.json`` trajectory.
+
+``python -m repro bench`` (or ``python benchmarks/harness.py``) times the
+repository's three hot analysis paths -- the full report fan-out, a
+datacenter provisioning search, and a serving load sweep -- and writes a
+trajectory point as JSON.  The convention: PR *n* commits ``BENCH_n.json``
+at the repo root, so the sequence of files records how the hot paths'
+wall time moves as the codebase grows.  CI re-runs the harness on every
+push (``--quick``) and fails only if it errors; timing thresholds would
+flake on shared runners, so speed regressions are caught by reading the
+trajectory, not by CI.
+
+Each record carries the :mod:`repro.perfcache` hit rate observed during
+that bench, which is what proves the shared latency-curve cache is
+actually engaged (the repeated sweep and re-search benches should be
+nearly all hits; at the seed, before the cache existed, every one of
+those lookups was a fresh platform evaluation).
+
+Benches run in one process, in order, sharing caches -- deliberately.
+The first bench (the report) pays the cold compile/profile cost exactly
+once, like any real session; the re-search and repeat benches then
+measure the steady state the cache exists to provide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+
+SCHEMA = "repro-bench/1"
+
+#: This PR's trajectory file (the committed convention: bump per PR).
+DEFAULT_OUTPUT = "BENCH_6.json"
+
+#: Requests per simulated operating point (full vs --quick).
+FULL_REQUESTS = 20000
+QUICK_REQUESTS = 2000
+
+#: ``--quick`` report subset: one cheap table per subsystem.
+QUICK_REPORT_ONLY = ["table1", "table4", "table6"]
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One timed scenario: a row in the trajectory file."""
+
+    name: str
+    wall_seconds: float
+    cache_hit_rate: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
+def git_rev() -> str:
+    """The current commit (short), or ``unknown`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _timed(name: str, fn) -> BenchRecord:
+    """Run ``fn`` once, recording wall time and the perfcache hit rate."""
+    from repro import perfcache
+
+    cache = perfcache.get_cache()
+    cache.reset_counters()
+    start = time.perf_counter()
+    fn()
+    wall = time.perf_counter() - start
+    return BenchRecord(name, wall, cache.stats().hit_rate)
+
+
+# ----------------------------------------------------------------------
+# the scenarios
+# ----------------------------------------------------------------------
+def _bench_report(quick: bool, jobs: int = 4) -> list[BenchRecord]:
+    """The full paper-vs-measured report through the ``--jobs`` fan-out."""
+    from repro.analysis.report import write_report
+
+    only = QUICK_REPORT_ONLY if quick else None
+
+    def run() -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            write_report(
+                os.path.join(tmp, "EXPERIMENTS.md"),
+                exp_ids=only, jobs=jobs, verbose=False,
+            )
+
+    suffix = "_quick" if quick else ""
+    return [_timed(f"report_jobs{jobs}{suffix}", run)]
+
+
+def _provisioning_inputs(quick: bool):
+    from repro.analysis.common import platforms, workload
+    from repro.serving.sweep import FleetSpec
+    from repro.serving.traffic import make_traffic
+
+    n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    spec = FleetSpec(
+        platform=platforms()["tpu"],
+        model=workload("mlp0"),
+        replicas=1,
+        policy="adaptive",
+        slo_seconds=7e-3,
+        router="jsq",
+    )
+    arrivals = make_traffic("diurnal", swing=0.6)(20000.0, n_requests, seed=0)
+    return spec, arrivals
+
+
+def _bench_provisioning(quick: bool) -> list[BenchRecord]:
+    """The capacity-planning search, then the re-search the cache enables.
+
+    ``provisioning_search`` is the first search this process runs (its
+    curve probes may already be warm from the report bench).  The
+    ``_research`` record re-runs the identical search -- the capacity
+    planner's everyday loop of re-planning under tweaked economics --
+    where every latency probe should hit the shared cache.
+    """
+    from repro.datacenter.provisioning import plan_capacity
+
+    spec, arrivals = _provisioning_inputs(quick)
+    max_replicas = 8 if quick else 16
+
+    first = _timed(
+        "provisioning_search",
+        lambda: plan_capacity(spec, arrivals, max_replicas=max_replicas),
+    )
+    # A fresh spec drops the per-curve memo, so the re-search's latency
+    # probes all go through (and should hit) the process-wide perfcache.
+    respec, _ = _provisioning_inputs(quick)
+    again = _timed(
+        "provisioning_research",
+        lambda: plan_capacity(respec, arrivals, max_replicas=max_replicas),
+    )
+    return [first, again]
+
+
+def _bench_serving_sweep(quick: bool) -> list[BenchRecord]:
+    """The p99-vs-throughput sweep, then an identical repeat (cache-hot)."""
+    from repro.analysis.common import platforms, workload
+    from repro.serving.sweep import FleetSpec, serving_sweep
+
+    n_requests = QUICK_REQUESTS if quick else FULL_REQUESTS
+    spec = FleetSpec(
+        platform=platforms()["tpu"],
+        model=workload("mlp0"),
+        replicas=4,
+        policy="adaptive",
+        slo_seconds=7e-3,
+    )
+
+    def sweep() -> None:
+        serving_sweep(spec, n_requests=n_requests, seed=0)
+
+    first = _timed("serving_sweep", sweep)
+    # A fresh spec drops the per-curve memo but keeps the process-wide
+    # perfcache: this is the cross-consumer sharing the cache is for.
+    fresh = FleetSpec(
+        platform=platforms()["tpu"],
+        model=workload("mlp0"),
+        replicas=4,
+        policy="adaptive",
+        slo_seconds=7e-3,
+    )
+
+    def resweep() -> None:
+        serving_sweep(fresh, n_requests=n_requests, seed=0)
+
+    again = _timed("serving_sweep_repeat", resweep)
+    return [first, again]
+
+
+def run_benches(quick: bool = False, jobs: int = 4) -> dict:
+    """Run every scenario and assemble the trajectory point."""
+    records: list[BenchRecord] = []
+    records += _bench_report(quick, jobs=jobs)
+    records += _bench_provisioning(quick)
+    records += _bench_serving_sweep(quick)
+    return {
+        "schema": SCHEMA,
+        "git_rev": git_rev(),
+        "quick": quick,
+        "benches": [record.to_dict() for record in records],
+    }
+
+
+def validate(payload: dict) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid trajectory point."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"bad schema: {payload.get('schema')!r} != {SCHEMA!r}")
+    if not isinstance(payload.get("git_rev"), str) or not payload["git_rev"]:
+        raise ValueError("git_rev must be a non-empty string")
+    benches = payload.get("benches")
+    if not isinstance(benches, list) or not benches:
+        raise ValueError("benches must be a non-empty list")
+    for bench in benches:
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"bench name must be a non-empty string: {bench}")
+        wall = bench.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            raise ValueError(f"{name}: wall_seconds must be >= 0, got {wall!r}")
+        rate = bench.get("cache_hit_rate")
+        if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"{name}: cache_hit_rate must be in [0, 1], got {rate!r}"
+            )
+
+
+def write_bench(path: str, quick: bool = False, jobs: int = 4) -> dict:
+    """Run the harness and write the trajectory point to ``path``."""
+    payload = run_benches(quick=quick, jobs=jobs)
+    validate(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time the hot analysis paths and write a "
+                    "BENCH_*.json trajectory point.",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the report bench (default 4)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        payload = write_bench(args.out, quick=args.quick, jobs=args.jobs)
+    except Exception as exc:  # CI contract: fail loudly on harness errors
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+    for bench in payload["benches"]:
+        print(f"{bench['name']:<24} {bench['wall_seconds']:>8.2f}s  "
+              f"hit rate {bench['cache_hit_rate']:.0%}", file=sys.stderr)
+    print(f"wrote {args.out} (rev {payload['git_rev']})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,10 +63,29 @@ class CompiledModel:
 class TPUDriver:
     """Compiles models and runs them on a (simulated) device."""
 
+    #: Process-wide driver registry (one driver -- hence one compile
+    #: cache -- per distinct TPUConfig); see :meth:`shared`.
+    _shared: dict[TPUConfig, "TPUDriver"] = {}
+
     def __init__(self, config: TPUConfig = TPU_V1, allocator=None) -> None:
         self.config = config
         self.allocator = allocator
-        self._cache: dict[str, CompiledModel] = {}
+        self._cache: dict[tuple, CompiledModel] = {}
+
+    @classmethod
+    def shared(cls, config: TPUConfig = TPU_V1) -> "TPUDriver":
+        """The process-wide driver for ``config``.
+
+        Every analysis surface that evaluates the same (config, model)
+        pair -- the platform wrapper, the Table 7 validation, the TPU'
+        study -- gets the same driver and therefore the same compile
+        cache, instead of each building a fresh driver and recompiling
+        the six programs from scratch.
+        """
+        driver = cls._shared.get(config)
+        if driver is None:
+            driver = cls._shared[config] = cls(config)
+        return driver
 
     # -- compilation ------------------------------------------------------
     def compile(
@@ -82,9 +101,20 @@ class TPUDriver:
         modes: 8b x 8b runs at full speed, mixed at half, 16b x 16b at a
         quarter (timing-only; the functional path is 8-bit).
         """
-        key = f"{model.name}:{'fn' if params else 'timing'}:{weight_bits}x{activation_bits}"
+        key = (
+            model.name,
+            model.batch_size,
+            "fn" if params else "timing",
+            weight_bits,
+            activation_bits,
+        )
         cached = self._cache.get(key)
-        if cached is not None and cached.model is model:
+        # Timing-mode entries match by value, so `replace(model,
+        # batch_size=...)` curve probes reuse the cache; functional
+        # entries keep the identity check (their params vary).
+        if cached is not None and (
+            cached.model is model or (params is None and cached.model == model)
+        ):
             return cached
         lowering = Lowering(
             model,
@@ -125,9 +155,16 @@ class TPUDriver:
 
     # -- execution ---------------------------------------------------------
     def profile(self, compiled: CompiledModel) -> ExecutionResult:
-        """Timing-only execution of one batch."""
+        """Timing-only execution of one batch (memoized per program)."""
+        if self.config == compiled.config:
+            cached = getattr(compiled, "_profile_result", None)
+            if cached is not None:
+                return cached
         device = TPUDevice(self.config, functional=False)
-        return device.run(compiled.program)
+        result = device.run(compiled.program)
+        if self.config == compiled.config:
+            compiled._profile_result = result
+        return result
 
     def run(
         self, compiled: CompiledModel, inputs: np.ndarray

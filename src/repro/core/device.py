@@ -24,6 +24,7 @@ Every cycle of the run is attributed to exactly one Table 3 category:
 from __future__ import annotations
 
 import math
+import os
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
@@ -63,6 +64,11 @@ from repro.nn.reference import im2col, max_pool
 ROW_BYTES = 256
 SETUP_BASE = 0x800000
 SETUP_BANK_STRIDE = 1 << 22
+
+#: Timing-mode fast path (precomputed per-program plan + batched counter
+#: accounting).  Bit-identical to the reference loop; ``REPRO_DEVICE_FAST=0``
+#: forces the reference path for cross-checking.
+_FAST_DEFAULT = os.environ.get("REPRO_DEVICE_FAST", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -108,6 +114,7 @@ class TPUDevice:
         config: TPUConfig = TPU_V1,
         functional: bool = False,
         activation_mode: str = "exact",
+        fast: bool | None = None,
     ) -> None:
         if config.matrix_dim != ROW_BYTES:
             raise NotImplementedError(
@@ -116,6 +123,7 @@ class TPUDevice:
             )
         self.config = config
         self.functional = functional
+        self.fast = _FAST_DEFAULT if fast is None else fast
         self.activation_unit = ActivationUnit(config.activation_lanes, mode=activation_mode)
         self.dma = DMAEngine(config.pcie_bandwidth)
 
@@ -129,6 +137,185 @@ class TPUDevice:
         """
         runner = _Run(self, program, host_input)
         return runner.execute()
+
+
+# ----------------------------------------------------------------------
+# timing-mode fast path
+# ----------------------------------------------------------------------
+# Everything about an instruction that does not depend on the schedule --
+# its engine, duration, weight-tile pairing, and counter increments -- is
+# fixed at compile time.  The plan hoists all of it out of the run loop in
+# one pass per program: per-instruction accounting is batched onto numpy
+# arrays and reduced once (integer sums are exact, so the totals are
+# bit-identical to the reference loop's one-at-a-time adds), and the run
+# loop that remains touches only the scoreboard and engine clocks.
+
+_OP_RW, _OP_MM, _OP_ACT, _OP_VEC, _OP_DIN, _OP_DOUT, _OP_SYNC, _OP_CTRL = range(8)
+
+
+@dataclass
+class _TimingPlan:
+    """Schedule-independent precomputation for one program."""
+
+    ops: list[tuple]
+    counter_totals: list[tuple[str, float]]
+    active: float
+    useful: float
+
+
+def _build_timing_plan(program: TPUProgram, config: TPUConfig) -> _TimingPlan | None:
+    """One static pass over the instruction stream; None = use the
+    reference loop (missing dependency sidecar or a malformed stream)."""
+    deps = program.metadata.get("deps")
+    if deps is None:
+        return None
+    tile_load_cycles = config.tile_load_cycles()
+    tile_bytes = config.tile_bytes
+    lanes = config.activation_lanes
+    clock = config.clock_hz
+    dma_seconds = DMAEngine(config.pcie_bandwidth).transfer_seconds
+    dim2 = config.matrix_dim * config.matrix_dim
+
+    ops: list[tuple] = []
+    # Batched integer accounting: one row per instruction of that type,
+    # reduced with exact int64 sums after the walk.
+    mm_rows: list[int] = []
+    mm_macs: list[int] = []
+    mm_convolve = 0
+    rw_bytes: list[int] = []
+    act_cycles: list[int] = []
+    pool_cycles: list[int] = []
+    din_bytes: list[int] = []
+    dout_bytes: list[int] = []
+    n_issued = n_sync = n_nop = n_activate = 0
+    # Ordered float accumulation (fill-weighted active time and DMA cycle
+    # conversions are not integers, so addition order must match the
+    # reference loop exactly).
+    active = 0.0
+    useful = 0.0
+    din_cycles = 0.0
+    dout_cycles = 0.0
+    pool_config: dict[str, int] | None = None
+    fifo_ids: deque[int] = deque()
+
+    for index, instr in enumerate(program.instructions):
+        n_issued += 1
+        dep = deps[index]
+        if isinstance(instr, ReadWeights):
+            spec = program.tiles.get(instr.tile_id)
+            if spec is not None and spec.dynamic:
+                nbytes = spec.rows * spec.cols
+                load_cycles = tile_load_cycles * nbytes / tile_bytes
+            else:
+                nbytes = tile_bytes
+                load_cycles = tile_load_cycles
+            rw_bytes.append(nbytes)
+            fifo_ids.append(instr.tile_id)
+            ops.append((_OP_RW, load_cycles, dep.reads, dep.writes))
+        elif isinstance(instr, MatrixMultiply):
+            spec = None
+            if instr.load_new_tile:
+                if not fifo_ids:
+                    return None  # reference loop raises the real error
+                spec = program.tiles[fifo_ids.popleft()]
+            duration = instr.rows * speed_factor(
+                instr.weight_bits, instr.activation_bits
+            )
+            active += duration
+            fill = (spec.rows * spec.cols) / dim2 if spec is not None else 1.0
+            useful += duration * fill
+            mm_rows.append(instr.rows)
+            mm_macs.append(
+                instr.rows * (spec.rows * spec.cols if spec is not None else config.macs)
+            )
+            mm_convolve += 1 if instr.convolve else 0
+            ops.append(
+                (_OP_MM, duration, dep.reads, dep.war, dep.writes, instr.load_new_tile)
+            )
+        elif isinstance(instr, Activate):
+            duration = -(-(instr.rows * instr.lanes) // lanes)
+            n_activate += 1
+            act_cycles.append(duration)
+            ops.append((_OP_ACT, duration, dep.reads, dep.war, dep.writes))
+        elif isinstance(instr, VectorInstruction):
+            elements = instr.rows * instr.lanes * VectorKind.PASSES[instr.kind]
+            pooling = instr.kind == VectorKind.POOL
+            if pooling and pool_config:
+                elements *= pool_config["window"] ** 2
+            duration = -(-elements // lanes)
+            (pool_cycles if pooling else act_cycles).append(duration)
+            unit = "setup" if instr.kind == VectorKind.IM2COL else "vector"
+            ops.append((_OP_VEC, duration, unit, dep.reads, dep.war, dep.writes))
+        elif isinstance(instr, ReadHostMemory):
+            nbytes = instr.rows * ROW_BYTES
+            din_bytes.append(nbytes)
+            din_cycles += dma_seconds(nbytes) * clock
+            ops.append((_OP_DIN, nbytes, dep.war, dep.reads, dep.writes))
+        elif isinstance(instr, WriteHostMemory):
+            nbytes = instr.rows * ROW_BYTES
+            dout_bytes.append(nbytes)
+            dout_cycles += dma_seconds(nbytes) * clock
+            ops.append((_OP_DOUT, nbytes, dep.reads, dep.writes))
+        elif isinstance(instr, Configure):
+            if instr.key == Configure.KEY_POOLING:
+                pool_config = unpack_pooling_config(instr.value)
+            ops.append((_OP_CTRL, dep.reads, dep.writes))
+        elif isinstance(instr, (Sync, SyncHost)):
+            n_sync += 1
+            ops.append((_OP_SYNC, dep.reads, dep.writes))
+        elif isinstance(instr, (DebugTag, Nop, InterruptHost)):
+            if isinstance(instr, Nop):
+                n_nop += 1
+            ops.append((_OP_CTRL, dep.reads, dep.writes))
+        elif isinstance(instr, Halt):
+            break
+        else:
+            return None
+
+    def isum(values: list[int]) -> int:
+        return int(np.asarray(values, dtype=np.int64).sum()) if values else 0
+
+    macs_total = isum(mm_macs)
+    totals = [
+        ("instructions_issued", n_issued),
+        ("read_weights_instructions", len(rw_bytes)),
+        ("weight_tiles_loaded", len(rw_bytes)),
+        ("weight_bytes_read", isum(rw_bytes)),
+        ("macs_issued", macs_total),
+        ("ops_committed", 2 * macs_total),
+        ("rows_streamed", isum(mm_rows)),
+        ("matmul_instructions", len(mm_rows) - mm_convolve),
+        ("convolve_instructions", mm_convolve),
+        ("activate_instructions", n_activate),
+        ("activation_cycles", isum(act_cycles)),
+        ("pooling_cycles", isum(pool_cycles)),
+        ("read_host_instructions", len(din_bytes)),
+        ("pcie_bytes_in", isum(din_bytes)),
+        ("dma_in_cycles", din_cycles),
+        ("write_host_instructions", len(dout_bytes)),
+        ("pcie_bytes_out", isum(dout_bytes)),
+        ("dma_out_cycles", dout_cycles),
+        ("sync_instructions", n_sync),
+        ("nop_instructions", n_nop),
+    ]
+    return _TimingPlan(
+        ops=ops,
+        counter_totals=[(name, value) for name, value in totals if value],
+        active=active,
+        useful=useful,
+    )
+
+
+def _timing_plan_for(program: TPUProgram, config: TPUConfig) -> _TimingPlan | None:
+    """The program's cached plan (keyed by config, since durations derive
+    from it).  Stored as a plain attribute: it must never leak into the
+    program's dataclass fields, equality, or serialized binary."""
+    cached = getattr(program, "_timing_plan", None)
+    if cached is not None and cached[0] == config:
+        return cached[1]
+    plan = _build_timing_plan(program, config)
+    program._timing_plan = (config, plan)
+    return plan
 
 
 class _Run:
@@ -258,6 +445,10 @@ class _Run:
     # main loop
     # ------------------------------------------------------------------
     def execute(self) -> ExecutionResult:
+        if not self.functional and self.device.fast and self.deps is not None:
+            plan = _timing_plan_for(self.program, self.config)
+            if plan is not None:
+                return self._execute_fast(plan)
         bank = self.counters
         for index, instr in enumerate(self.program.instructions):
             bank.add("instructions_issued", 1)
@@ -321,6 +512,224 @@ class _Run:
             breakdown=breakdown,
             counters=bank.snapshot(),
             output=self.output,
+        )
+
+    # ------------------------------------------------------------------
+    # fast path: plan-driven scheduler
+    # ------------------------------------------------------------------
+    def _execute_fast(self, plan: _TimingPlan) -> ExecutionResult:
+        """The reference loop with every static quantity precomputed.
+
+        Only the scoreboard and per-engine clocks remain per-instruction;
+        every arithmetic expression matches the reference methods term for
+        term, so cycle counts and stall attribution are bit-identical.
+        """
+        token_write: dict[int, tuple[float, str]] = {}
+        token_read: dict[int, float] = {}
+        tw_get = token_write.get
+        tr_get = token_read.get
+        matrix = vector = setup = dma_in = dma_out = dram = control = 0.0
+        ready_queue: deque[float] = deque()
+        pop_times: list[float] = []
+        push_count = 0
+        prev_mm_start = 0.0
+        weight_stall = weight_shift = raw_stall = input_stall = 0.0
+        fifo_depth = self.fifo_depth
+        shift_cycles = self.config.weight_shift_cycles
+        dma = self.device.dma
+        clock = self.cycles_per_second
+
+        for op in plan.ops:
+            code = op[0]
+            if code == _OP_MM:
+                _, duration, reads, war, writes, load_new = op
+                ready = 0.0
+                unit = "control"
+                for token in reads:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > ready:
+                        ready, unit = rec
+                war_ready = 0.0
+                for token in war:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > war_ready:
+                        war_ready = rec[0]
+                    t = tr_get(token, 0.0)
+                    if t > war_ready:
+                        war_ready = t
+                matrix_free = matrix
+                shift_done = tile_ready = shift_start = 0.0
+                if load_new:
+                    tile_ready = ready_queue.popleft()
+                    shift_start = max(tile_ready, prev_mm_start)
+                    pop_times.append(shift_start)
+                    shift_done = shift_start + shift_cycles
+                start = max(matrix_free, shift_done, ready, war_ready)
+                idle = start - matrix_free
+                if idle > 0:
+                    stall = 0.0
+                    shift = 0.0
+                    if load_new:
+                        stall = max(0.0, min(start, tile_ready) - matrix_free)
+                        shift = max(
+                            0.0,
+                            min(start, shift_done)
+                            - max(matrix_free, shift_start, tile_ready),
+                        )
+                    weight_stall += stall
+                    weight_shift += shift
+                    rest = idle - (stall + shift)
+                    if rest > 0 and ready >= start - 1e-9:
+                        if unit == "dma_in":
+                            input_stall += rest
+                        else:
+                            raw_stall += rest
+                end = start + duration
+                matrix = end
+                prev_mm_start = start
+                for token in writes:
+                    token_write[token] = (end, "matrix")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            elif code == _OP_RW:
+                _, load_cycles, reads, writes = op
+                slot_free = 0.0
+                if push_count >= fifo_depth:
+                    pop_index = push_count - fifo_depth
+                    slot_free = (
+                        pop_times[pop_index] if pop_index < len(pop_times) else matrix
+                    )
+                dep_ready = 0.0
+                for token in reads:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > dep_ready:
+                        dep_ready = rec[0]
+                end = max(dram, slot_free, dep_ready) + load_cycles
+                dram = end
+                ready_queue.append(end)
+                push_count += 1
+                for token in writes:
+                    token_write[token] = (end, "dram")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            elif code == _OP_ACT or code == _OP_VEC:
+                if code == _OP_ACT:
+                    _, duration, reads, war, writes = op
+                    unit = "vector"
+                else:
+                    _, duration, unit, reads, war, writes = op
+                ready = 0.0
+                for token in reads:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > ready:
+                        ready = rec[0]
+                war_ready = 0.0
+                for token in war:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > war_ready:
+                        war_ready = rec[0]
+                    t = tr_get(token, 0.0)
+                    if t > war_ready:
+                        war_ready = t
+                if unit == "vector":
+                    end = max(vector, ready, war_ready) + duration
+                    vector = end
+                else:
+                    end = max(setup, ready, war_ready) + duration
+                    setup = end
+                for token in writes:
+                    token_write[token] = (end, unit)
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            elif code == _OP_DIN:
+                _, nbytes, war, reads, writes = op
+                duration = dma.host_to_device(None, nbytes) * clock
+                war_ready = 0.0
+                for token in war:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > war_ready:
+                        war_ready = rec[0]
+                    t = tr_get(token, 0.0)
+                    if t > war_ready:
+                        war_ready = t
+                end = max(dma_in, war_ready) + duration
+                dma_in = end
+                for token in writes:
+                    token_write[token] = (end, "dma_in")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            elif code == _OP_DOUT:
+                _, nbytes, reads, writes = op
+                duration = dma.device_to_host(None, nbytes) * clock
+                ready = 0.0
+                for token in reads:
+                    rec = tw_get(token)
+                    if rec is not None and rec[0] > ready:
+                        ready = rec[0]
+                end = max(dma_out, ready) + duration
+                dma_out = end
+                for token in writes:
+                    token_write[token] = (end, "dma_out")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            elif code == _OP_SYNC:
+                _, reads, writes = op
+                end = max(matrix, vector, setup, dma_in, dma_out, dram, control)
+                control = end
+                for token in writes:
+                    token_write[token] = (end, "control")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+            else:  # _OP_CTRL
+                _, reads, writes = op
+                end = control + 1
+                control = end
+                for token in writes:
+                    token_write[token] = (end, "control")
+                for token in reads:
+                    if tr_get(token, 0.0) < end:
+                        token_read[token] = end
+
+        total = max(matrix, vector, setup, dma_in, dma_out, dram, control)
+        total = max(total, 1.0)
+        bank = self.counters
+        for name, value in plan.counter_totals:
+            bank.add(name, value)
+        active = plan.active
+        bank.add("total_cycles", total)
+        bank.add("array_active_cycles", active)
+        bank.add("useful_mac_cycles", plan.useful)
+        bank.add("weight_stall_cycles", weight_stall)
+        bank.add("weight_shift_cycles", weight_shift)
+        non_matrix = max(total - active - weight_stall - weight_shift, 0.0)
+        bank.add("non_matrix_cycles", non_matrix)
+        bank.add("raw_stall_cycles", min(raw_stall, non_matrix))
+        bank.add("input_stall_cycles", min(input_stall, non_matrix))
+        bank.add("batches_completed", 1)
+        breakdown = CycleBreakdown(
+            total=total,
+            active=active,
+            weight_stall=weight_stall,
+            weight_shift=weight_shift,
+            non_matrix=non_matrix,
+            useful_mac_weighted=min(plan.useful, active),
+            raw_stall=min(raw_stall, non_matrix),
+            input_stall=min(input_stall, non_matrix),
+        )
+        return ExecutionResult(
+            program_name=self.program.name,
+            batch_size=self.program.batch_size,
+            cycles=total,
+            seconds=total / self.cycles_per_second,
+            breakdown=breakdown,
+            counters=bank.snapshot(),
+            output=None,
         )
 
     # ------------------------------------------------------------------

@@ -96,11 +96,11 @@ class SystolicArray:
     def _feed_column(self, x: np.ndarray, cycle: int) -> np.ndarray:
         """Activations entering column 0 this cycle (skewed by row)."""
         batch = x.shape[0]
+        rows = np.arange(self.rows)
+        b = cycle - rows
+        live = (b >= 0) & (b < batch)
         column = np.zeros(self.rows, dtype=np.int64)
-        for r in range(self.rows):
-            b = cycle - r
-            if 0 <= b < batch:
-                column[r] = x[b, r]
+        column[live] = x[b[live], rows[live]]
         return column
 
     def step(self, x: np.ndarray, cycle: int) -> np.ndarray:
@@ -139,12 +139,12 @@ class SystolicArray:
         self._psum[:] = 0
         total_cycles = batch + self.rows + self.cols - 2
         out = np.zeros((batch, self.cols), dtype=np.int64)
+        cols = np.arange(self.cols)
         for t in range(total_cycles):
             bottom = self.step(x, t)
-            for c in range(self.cols):
-                b = t - c - (self.rows - 1)
-                if 0 <= b < batch:
-                    out[b, c] = bottom[c]
+            b = t - cols - (self.rows - 1)
+            emerged = (b >= 0) & (b < batch)
+            out[b[emerged], cols[emerged]] = bottom[emerged]
         return SystolicTrace(
             output=out,
             cycles=total_cycles,
@@ -159,12 +159,8 @@ class SystolicArray:
         Cell (r, c) processes batch row ``cycle - r - c``; the active set
         is the anti-diagonal band the paper draws in Figure 4.
         """
-        grid = np.zeros((self.rows, self.cols), dtype=bool)
-        for r in range(self.rows):
-            for c in range(self.cols):
-                b = cycle - r - c
-                grid[r, c] = 0 <= b < batch
-        return grid
+        b = cycle - np.add.outer(np.arange(self.rows), np.arange(self.cols))
+        return (b >= 0) & (b < batch)
 
     def render_wavefront(self, cycle: int, batch: int) -> str:
         """ASCII picture of the diagonal wavefront for small arrays."""

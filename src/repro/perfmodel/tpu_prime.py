@@ -63,7 +63,7 @@ def tpu_prime_study(
     }
     names = list(models)
     baseline = {n: tpu_seconds(m, config) for n, m in models.items()}
-    driver = TPUDriver(config)
+    driver = TPUDriver.shared(config)
     host = {
         n: driver.compile(m).host_seconds_per_batch() for n, m in models.items()
     }

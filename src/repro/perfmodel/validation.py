@@ -32,7 +32,7 @@ def validate_against_simulator(
     models: dict[str, Model], config: TPUConfig = TPU_V1
 ) -> dict[str, ValidationRow]:
     """Per-app cycle difference between model and simulator."""
-    driver = TPUDriver(config)
+    driver = TPUDriver.shared(config)
     rows = {}
     for name, model in models.items():
         compiled = driver.compile(model)

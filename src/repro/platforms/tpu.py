@@ -38,9 +38,10 @@ class TPUPlatform(Platform):
 
     def __init__(self, config: TPUConfig = TPU_V1) -> None:
         self.config = config
-        self.driver = TPUDriver(config)
+        self.driver = TPUDriver.shared(config)
         self.chip = self._chip_for(config)
         self._profile_cache: dict[tuple[str, int], float] = {}
+        self._variant_cache: dict[tuple[str, int], CompiledModel | None] = {}
 
     @staticmethod
     def _chip_for(config: TPUConfig) -> ChipSpec:
@@ -59,12 +60,23 @@ class TPUPlatform(Platform):
         physically unservable on this device (the UB-sizing constraint of
         Section 7); callers see it as infinite service time so batching
         policies and provisioning searches step around it.
+
+        Variants are memoized per (model, batch): the driver's own cache
+        keys on object identity, so without this memo every curve probe
+        recompiled its ``replace(model, batch_size=...)`` copy from
+        scratch.  Timing-mode programs carry no weight data, so holding
+        the full batch grid is cheap.
         """
+        key = (model.name, batch)
+        if key in self._variant_cache:
+            return self._variant_cache[key]
         variant = model if batch == model.batch_size else replace(model, batch_size=batch)
         try:
-            return self.driver.compile(variant)
+            compiled = self.driver.compile(variant)
         except UBOverflowError:
-            return None
+            compiled = None
+        self._variant_cache[key] = compiled
+        return compiled
 
     def device_seconds(self, model: Model, batch: int | None = None) -> float:
         """Simulated TPU time for one batch (no host share)."""

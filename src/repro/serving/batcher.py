@@ -122,12 +122,21 @@ class SLOAdaptiveBatcher(Batcher):
         # Even when nothing fits (the paper's CPU LSTM case), the service
         # still has to run: serve singletons and miss.
         self.max_batch = fitting[-1] if fitting else min(candidates)
+        self._budget_cache: dict[int, float] = {}
 
     def _wait_budget(self, queue_len: int) -> float:
         # The margin keeps dispatches strictly inside the deadline, so
         # queueing jitter doesn't flip p99 across the SLO boundary.
+        # Memoized per queue length: the curve is fixed for the batcher's
+        # lifetime and the event loop asks for the same handful of queue
+        # depths hundreds of thousands of times per sweep.
+        cached = self._budget_cache.get(queue_len)
+        if cached is not None:
+            return cached
         budget = self.slo_seconds * self.slo_margin
-        return max(budget - self.curve.latency(max(queue_len, 1)), 0.0)
+        wait = max(budget - self.curve.latency(max(queue_len, 1)), 0.0)
+        self._budget_cache[queue_len] = wait
+        return wait
 
     def dispatch_size(self, queue_len: int, oldest_age: float) -> int:
         if queue_len >= self.max_batch:

@@ -18,7 +18,6 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable
 from dataclasses import dataclass
-from itertools import count
 
 import numpy as np
 
@@ -32,18 +31,22 @@ class EventLoop:
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Callable[[float], None]]] = []
-        self._seq = count()
+        self._seq = 0
         self.now = 0.0
 
     def schedule(self, when: float, callback: Callable[[float], None]) -> None:
         if when < self.now:
             raise ValueError(f"cannot schedule into the past ({when} < {self.now})")
-        heapq.heappush(self._heap, (when, next(self._seq), callback))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, callback))
 
     def run(self) -> None:
         """Process events in time order until the heap is empty."""
-        while self._heap:
-            when, _, callback = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when, _, callback = pop(heap)
             self.now = when
             callback(when)
 

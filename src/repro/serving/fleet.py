@@ -11,6 +11,7 @@ draining hotspots) are simulated, not approximated.
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left
 from collections import deque
 from collections.abc import Sequence
@@ -18,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import perfcache
 from repro.nn.graph import Model
 from repro.platforms.base import BATCH_CANDIDATES, Platform
 from repro.serving.batcher import Batcher
@@ -37,11 +39,13 @@ def occupancy_latency(platform: Platform, model: Model, batch: int) -> tuple[flo
     Occupancy is how long the device is unavailable; latency is when the
     responses come back.  They differ on the TPU, where the host share
     pipelines with device execution.
+
+    Every curve probe in the repo funnels through here, and from here
+    through the process-wide :mod:`repro.perfcache` memo table, so the
+    serving sweeps, batcher probes, provisioning search, and autoscaler
+    all share one set of platform evaluations.
     """
-    return (
-        platform.occupancy_seconds(model, batch),
-        platform.service_seconds(model, batch),
-    )
+    return perfcache.occupancy_latency(platform, model, batch)
 
 
 class PlatformCurve(LatencyCurve):
@@ -68,6 +72,7 @@ class PlatformCurve(LatencyCurve):
         if len(self.anchors) < 2:
             raise ValueError("PlatformCurve needs at least two distinct anchors")
         self._cache: dict[int, tuple[float, float]] = {}
+        self._points: dict[int, tuple[float, float]] = {}
 
     def _exact(self, batch: int) -> tuple[float, float]:
         cached = self._cache.get(batch)
@@ -77,6 +82,12 @@ class PlatformCurve(LatencyCurve):
         return cached
 
     def _point(self, batch: int) -> tuple[float, float]:
+        point = self._points.get(batch)
+        if point is None:
+            point = self._points[batch] = self._interpolate(batch)
+        return point
+
+    def _interpolate(self, batch: int) -> tuple[float, float]:
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
         pos = bisect_left(self.anchors, batch)
@@ -140,15 +151,16 @@ class ShortestQueueRouter(Router):
     """Join-shortest-queue: fewest waiting requests, busy server breaks ties."""
 
     def pick(self, replicas: list[Replica], now: float) -> Replica:
-        best = min(
-            range(len(replicas)),
-            key=lambda i: (
-                replicas[i].backlog,
-                0 if replicas[i].server.idle_at(now) else 1,
-                i,
-            ),
-        )
-        return replicas[best]
+        # Explicit scan (first strict minimum wins) == the old
+        # min-with-key over (backlog, busy, index), minus the 2N lambda
+        # calls per arrival on the simulation's hottest path.
+        best = replicas[0]
+        best_key = (len(best.queue), best.server.free_at > now)
+        for replica in replicas[1:]:
+            key = (len(replica.queue), replica.server.free_at > now)
+            if key < best_key:
+                best, best_key = replica, key
+        return best
 
 
 ROUTERS = {
@@ -229,10 +241,11 @@ class FleetSim:
     def poll(self, replica: Replica) -> None:
         """Launch a batch on ``replica`` if its policy says so."""
         now = self.loop.now
-        if not replica.queue or not replica.server.idle_at(now):
+        queue = replica.queue
+        if not queue or replica.server.free_at > now:
             return
-        oldest = replica.queue[0].arrival
-        n = replica.batcher.dispatch_size(len(replica.queue), now - oldest)
+        oldest = queue[0].arrival
+        n = replica.batcher.dispatch_size(len(queue), now - oldest)
         if n == 0:
             # Compare absolute deadlines, not ages: recomputing the
             # deadline reproduces the exact float a timer fired at,
@@ -283,11 +296,57 @@ class FleetSim:
                 now = max(self.loop.now, replica.server.free_at)
                 self._launch(replica, min(len(replica.queue), replica.batcher.max_batch), now)
 
+    def _run_events(self) -> None:
+        """Drive the event loop over the arrival trace.
+
+        Sorted traces (every generated workload) merge the arrival
+        stream directly against the dynamic-event heap instead of
+        pushing a heap event per arrival -- the single hottest loop in
+        the repo.  Event order is identical to scheduling every arrival
+        up front: events already on the loop when the run starts carry
+        lower sequence numbers than the arrivals would have received,
+        so they win exact time ties; events scheduled during the run
+        would have received higher ones, so they lose them.
+        """
+        loop = self.loop
+        arrivals = self.arrivals
+        if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
+            # Unsorted trace: the heap is the sort.
+            for index, when in enumerate(arrivals):
+                request = Request(index=index, arrival=float(when))
+                loop.schedule(float(when), lambda _t, r=request: self._on_arrival(r))
+            loop.run()
+            return
+        heap = loop._heap
+        pre_seq = loop._seq  # events below this watermark win time ties
+        pop = heapq.heappop
+        on_arrival = self._on_arrival
+        times = arrivals.tolist()
+        n = len(times)
+        i = 0
+        while True:
+            if i < n:
+                when = times[i]
+                if heap:
+                    top = heap[0]
+                    top_when = top[0]
+                    if top_when < when or (top_when == when and top[1] < pre_seq):
+                        pop(heap)
+                        loop.now = top_when
+                        top[2](top_when)
+                        continue
+                loop.now = when
+                on_arrival(Request(index=i, arrival=when))
+                i += 1
+            elif heap:
+                when, _, callback = pop(heap)
+                loop.now = when
+                callback(when)
+            else:
+                break
+
     def run(self) -> FleetResult:
-        for index, when in enumerate(self.arrivals):
-            request = Request(index=index, arrival=float(when))
-            self.loop.schedule(float(when), lambda _t, r=request: self._on_arrival(r))
-        self.loop.run()
+        self._run_events()
         if self.drain:
             self._flush_residual()
 

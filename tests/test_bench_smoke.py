@@ -1,0 +1,100 @@
+"""Smoke tests for the tracked benchmark harness (``python -m repro bench``).
+
+Marked ``bench`` so the suite can be selected (``-m bench``) or skipped
+(``-m "not bench"``) independently; CI runs the harness itself via
+``repro bench --quick`` and these tests pin its contract: the JSON
+schema, the cache-engagement guarantee (a repeated sweep must hit), and
+the device fast path being active by default.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import benchmark, perfcache
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    """One tiny harness run shared by the schema/content assertions."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    written = benchmark.write_bench(str(out), quick=True, jobs=2)
+    on_disk = json.loads(out.read_text())
+    assert on_disk == json.loads(json.dumps(written))
+    return on_disk
+
+
+def test_schema_valid(payload):
+    benchmark.validate(payload)
+    assert payload["schema"] == benchmark.SCHEMA
+    assert payload["quick"] is True
+
+
+def test_expected_scenarios_present(payload):
+    names = [bench["name"] for bench in payload["benches"]]
+    assert names == [
+        "report_jobs2_quick",
+        "provisioning_search",
+        "provisioning_research",
+        "serving_sweep",
+        "serving_sweep_repeat",
+    ]
+
+
+def test_repeated_sweep_hits_the_cache(payload):
+    """The whole point: identical re-evaluations are served from cache."""
+    by_name = {bench["name"]: bench for bench in payload["benches"]}
+    assert by_name["serving_sweep_repeat"]["cache_hit_rate"] > 0
+    assert by_name["provisioning_research"]["cache_hit_rate"] > 0
+
+
+def test_wall_seconds_positive(payload):
+    for bench in payload["benches"]:
+        assert bench["wall_seconds"] > 0
+
+
+def test_device_fast_path_engaged_by_default():
+    """The vectorized device path must be on (REPRO_DEVICE_FAST=1)."""
+    from repro.compiler.driver import TPUDriver
+    from repro.core.device import TPUDevice, _timing_plan_for
+
+    from repro.nn.workloads import build_workload
+
+    device = TPUDevice()
+    assert device.fast, "device fast path should be enabled by default"
+    compiled = TPUDriver.shared().compile(build_workload("mlp0"))
+    plan = _timing_plan_for(compiled.program, device.config)
+    assert plan is not None, "paper programs must take the precomputed plan"
+
+
+def test_validate_rejects_malformed():
+    good = {
+        "schema": benchmark.SCHEMA,
+        "git_rev": "abc1234",
+        "benches": [
+            {"name": "x", "wall_seconds": 0.1, "cache_hit_rate": 0.5},
+        ],
+    }
+    benchmark.validate(good)
+    for breakage in (
+        {"schema": "other/9"},
+        {"git_rev": ""},
+        {"benches": []},
+        {"benches": [{"name": "", "wall_seconds": 0.1, "cache_hit_rate": 0.5}]},
+        {"benches": [{"name": "x", "wall_seconds": -1, "cache_hit_rate": 0.5}]},
+        {"benches": [{"name": "x", "wall_seconds": 0.1, "cache_hit_rate": 1.5}]},
+    ):
+        with pytest.raises(ValueError):
+            benchmark.validate({**good, **breakage})
+
+
+def test_perfcache_env_toggle_respected(monkeypatch):
+    """REPRO_PERFCACHE=0 builds a disabled cache (results identical)."""
+    monkeypatch.setenv("REPRO_PERFCACHE", "0")
+    assert perfcache.PerfCache().enabled is False
+    monkeypatch.delenv("REPRO_PERFCACHE")
+    assert perfcache.PerfCache().enabled is True

@@ -16,12 +16,15 @@ compiler improvement), re-record the constants in the same commit and
 say why in its message.
 """
 
+import dataclasses
 import hashlib
 
 import pytest
 
+from repro import perfcache
 from repro.analysis import EXPERIMENTS
 from repro.compiler.driver import TPUDriver
+from repro.core.device import TPUDevice
 from repro.nn.workloads import paper_workloads
 
 #: sha256 of TPUProgram.binary() per paper workload (timing compile).
@@ -63,3 +66,39 @@ def test_paper_table_text_byte_identical(exp_id):
     assert hashlib.sha256(result.text.encode()).hexdigest() == TABLE_TEXT_SHA256[exp_id], (
         f"{exp_id}: rendered table changed vs the pre-transformer seed"
     )
+
+
+@pytest.mark.parametrize("exp_id", list(TABLE_TEXT_SHA256))
+def test_paper_table_text_pinned_with_perfcache_disabled(exp_id):
+    """The perfcache must be a pure memo: bypassing it cannot move a byte.
+
+    The default-path test above runs with the cache enabled, so together
+    they pin Tables 1-8 with the cache both on and off.
+    """
+    with perfcache.disabled():
+        result = EXPERIMENTS[exp_id]()
+    assert hashlib.sha256(result.text.encode()).hexdigest() == TABLE_TEXT_SHA256[exp_id], (
+        f"{exp_id}: rendered table changed when the perfcache was bypassed"
+    )
+
+
+@pytest.mark.parametrize("name", list(PROGRAM_SHA256))
+def test_vectorized_device_path_bit_identical(name):
+    """The numpy-batched device fast path must match the reference loop.
+
+    Cycle counts, seconds, the cycle breakdown, and every counter --
+    including the int-vs-float type of each value, which the Table 3
+    rendering distinguishes -- must be identical instruction for
+    instruction.  (The pinned tables above already run through the fast
+    path, so this localizes any future divergence to the device layer.)
+    """
+    program = TPUDriver.shared().compile(paper_workloads()[name]).program
+    fast = TPUDevice(fast=True).run(program)
+    reference = TPUDevice(fast=False).run(program)
+    assert fast.cycles == reference.cycles
+    assert fast.seconds == reference.seconds
+    assert dataclasses.asdict(fast.breakdown) == dataclasses.asdict(reference.breakdown)
+    assert fast.counters == reference.counters
+    assert {k: type(v) for k, v in fast.counters.items()} == {
+        k: type(v) for k, v in reference.counters.items()
+    }

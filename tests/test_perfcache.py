@@ -1,0 +1,247 @@
+"""The process-wide latency-curve cache: keys, accounting, and identity.
+
+The cache's contract is absolute: it may only return exactly what the
+platform would have computed, keyed so that equivalent specs (fresh
+instances, scenario round-trips, ``replace(model, batch_size=...)``
+variants) share entries.  These tests pin the key stability, the
+hit/miss/invalidation bookkeeping, and -- most importantly -- that the
+sweep, provisioning, and autoscaler results are identical with the
+cache on and off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import perfcache
+from repro.datacenter.autoscaler import (
+    AutoscaleConfig,
+    AutoscaledFleet,
+    ReactivePolicy,
+)
+from repro.datacenter.provisioning import plan_capacity
+from repro.nn.workloads import build_workload
+from repro.platforms.cpu import HaswellPlatform
+from repro.platforms.gpu import K80Platform
+from repro.platforms.tpu import TPUPlatform
+from repro.serving.sweep import FleetSpec, serving_sweep
+from repro.serving.traffic import poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def mlp0():
+    return build_workload("mlp0")
+
+
+def _spec(platform, model, **kwargs) -> FleetSpec:
+    defaults = dict(replicas=2, policy="adaptive", slo_seconds=7e-3)
+    defaults.update(kwargs)
+    return FleetSpec(platform=platform, model=model, **defaults)
+
+
+class TestKeys:
+    def test_platform_key_stable_across_instances(self):
+        for cls in (TPUPlatform, K80Platform, HaswellPlatform):
+            assert perfcache.platform_key(cls()) == perfcache.platform_key(cls())
+
+    def test_platform_keys_distinguish_platforms(self):
+        keys = {
+            perfcache.platform_key(p)
+            for p in (TPUPlatform(), K80Platform(), HaswellPlatform())
+        }
+        assert len(keys) == 3
+
+    def test_model_key_stable_across_rebuilds(self, mlp0):
+        assert perfcache.model_key(mlp0) == perfcache.model_key(build_workload("mlp0"))
+
+    def test_model_key_ignores_batch_size(self, mlp0):
+        """Batch is the cache key's third component, not part of the hash."""
+        assert perfcache.model_key(mlp0) == perfcache.model_key(
+            replace(mlp0, batch_size=7)
+        )
+
+    def test_model_key_distinguishes_workloads(self, mlp0):
+        assert perfcache.model_key(mlp0) != perfcache.model_key(
+            build_workload("lstm0")
+        )
+
+
+class TestAccounting:
+    def test_hits_misses_and_entries(self, mlp0):
+        cache = perfcache.PerfCache(enabled=True)
+        platform = HaswellPlatform()
+        assert cache.stats().lookups == 0
+        cache.occupancy_latency(platform, mlp0, 16)
+        cache.occupancy_latency(platform, mlp0, 16)
+        cache.occupancy_latency(platform, mlp0, 32)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 2, 2)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_reset_counters_keeps_entries(self, mlp0):
+        cache = perfcache.PerfCache(enabled=True)
+        platform = HaswellPlatform()
+        cache.occupancy_latency(platform, mlp0, 16)
+        cache.reset_counters()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (0, 0, 1)
+        cache.occupancy_latency(platform, mlp0, 16)
+        assert cache.stats().hits == 1
+
+    def test_disabled_cache_stores_nothing(self, mlp0):
+        cache = perfcache.PerfCache(enabled=False)
+        platform = HaswellPlatform()
+        cached = cache.occupancy_latency(platform, mlp0, 16)
+        assert cache.stats().lookups == 0
+        assert cache.stats().entries == 0
+        assert cached == (
+            platform.occupancy_seconds(mlp0, 16),
+            platform.service_seconds(mlp0, 16),
+        )
+
+
+class TestInvalidation:
+    @pytest.fixture()
+    def filled(self, mlp0):
+        cache = perfcache.PerfCache(enabled=True)
+        lstm0 = build_workload("lstm0")
+        for platform in (HaswellPlatform(), K80Platform()):
+            for model in (mlp0, lstm0):
+                for batch in (8, 16):
+                    cache.occupancy_latency(platform, model, batch)
+        return cache
+
+    def test_invalidate_all(self, filled):
+        assert filled.invalidate() == 8
+        assert filled.stats().entries == 0
+
+    def test_invalidate_one_platform(self, filled):
+        assert filled.invalidate(platform=HaswellPlatform()) == 4
+        assert filled.stats().entries == 4
+        assert filled.invalidate(platform=HaswellPlatform()) == 0
+
+    def test_invalidate_by_kind_string(self, filled):
+        assert filled.invalidate(platform="gpu") == 4
+
+    def test_invalidate_one_workload(self, filled, mlp0):
+        assert filled.invalidate(workload=mlp0) == 4
+        assert filled.invalidate(workload="lstm0") == 4
+        assert filled.stats().entries == 0
+
+    def test_invalidated_entry_recomputes(self, mlp0):
+        cache = perfcache.PerfCache(enabled=True)
+        platform = HaswellPlatform()
+        before = cache.occupancy_latency(platform, mlp0, 16)
+        cache.invalidate(workload=mlp0)
+        cache.reset_counters()
+        after = cache.occupancy_latency(platform, mlp0, 16)
+        assert cache.stats().misses == 1
+        assert after == before
+
+
+class TestCachedEqualsUncached:
+    """The cache may not move a single float in any consumer's output."""
+
+    def test_direct_lookup_identity(self, mlp0):
+        platform = TPUPlatform()
+        for batch in (1, 8, 64, 200):
+            cached = perfcache.occupancy_latency(platform, mlp0, batch)
+            with perfcache.disabled():
+                raw = perfcache.occupancy_latency(platform, mlp0, batch)
+            assert cached == raw
+
+    def test_sweep_identity(self, mlp0):
+        platform = TPUPlatform()
+        kwargs = dict(load_fractions=(0.4, 0.8), n_requests=1500, seed=3)
+        warm = serving_sweep(_spec(platform, mlp0), **kwargs)
+        with perfcache.disabled():
+            cold = serving_sweep(_spec(platform, mlp0), **kwargs)
+        assert warm == cold
+
+    def test_provisioning_identity(self, mlp0):
+        platform = TPUPlatform()
+        arrivals = poisson_arrivals(30000.0, 1500, seed=5)
+        warm = plan_capacity(_spec(platform, mlp0, router="jsq"), arrivals,
+                             max_replicas=8)
+        with perfcache.disabled():
+            cold = plan_capacity(_spec(platform, mlp0, router="jsq"), arrivals,
+                                 max_replicas=8)
+        assert warm == cold
+
+    def test_autoscaler_identity(self, mlp0):
+        platform = TPUPlatform()
+        arrivals = poisson_arrivals(30000.0, 1500, seed=7)
+        config = AutoscaleConfig(
+            control_interval_seconds=0.05, spinup_seconds=0.1, max_replicas=8
+        )
+
+        def run():
+            spec = _spec(platform, mlp0, router="jsq")
+            scaled = AutoscaledFleet(
+                spec.make_replica, ReactivePolicy(), config,
+                replica_rps=spec.capacity_rps() / spec.replicas,
+            ).run(arrivals)
+            return (
+                scaled.peak_replicas,
+                scaled.mean_powered,
+                scaled.timeline,
+                scaled.powered,
+                scaled.fleet.responses.tolist(),
+            )
+
+        warm = run()
+        with perfcache.disabled():
+            cold = run()
+        assert warm == cold
+
+
+class TestSweepConvergence:
+    """latency.sweep and serving.sweep must share one evaluation path."""
+
+    def test_single_probe_entrypoint(self):
+        from repro.latency import sweep as latency_sweep
+        from repro.serving import fleet
+
+        assert latency_sweep._occupancy_latency is fleet.occupancy_latency
+
+    def test_curves_agree_point_for_point(self, mlp0):
+        """The serving curve's exact anchors == latency.sweep's probes.
+
+        Both funnel through :func:`repro.perfcache.occupancy_latency`,
+        so at every anchor batch the two consumers must see the exact
+        same (occupancy, latency) floats -- on every platform.
+        """
+        from repro.latency.sweep import _occupancy_latency
+
+        for platform in (TPUPlatform(), K80Platform(), HaswellPlatform()):
+            curve = _spec(platform, mlp0).curve
+            for batch in curve.anchors:
+                assert curve._exact(batch) == _occupancy_latency(
+                    platform, mlp0, batch
+                ), f"{platform.kind} diverged at batch {batch}"
+
+    def test_shared_probes_hit_the_global_cache(self, mlp0):
+        from repro.latency.sweep import _occupancy_latency
+
+        platform = TPUPlatform()
+        cache = perfcache.get_cache()
+        _occupancy_latency(platform, mlp0, 48)  # ensure the entry exists
+        cache.reset_counters()
+        curve = _spec(platform, mlp0).curve
+        curve._exact(48)
+        stats = cache.stats()
+        assert stats.hits >= 1 and stats.misses == 0
+        cache.reset_counters()
+
+
+def test_numpy_batch_types_key_identically(mlp0):
+    """np.int64 batch sizes (from sweeps over arrays) hit int entries."""
+    cache = perfcache.PerfCache(enabled=True)
+    platform = HaswellPlatform()
+    cache.occupancy_latency(platform, mlp0, 16)
+    cache.warm(platform, mlp0, np.array([16, 24]))
+    stats = cache.stats()
+    assert stats.hits == 1 and stats.entries == 2
