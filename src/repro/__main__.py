@@ -26,14 +26,24 @@ Commands:
 * ``bench``             -- time the hot analysis paths (report fan-out,
   provisioning search, serving sweep) and write a ``BENCH_*.json``
   trajectory point (``--quick`` for CI-sized scenarios);
+* ``trace <command>``   -- run any subcommand with span tracing on and
+  write a Chrome trace-event JSON (open it in Perfetto), defaulting to
+  ``trace.json`` when the inner command sets no ``--trace-out``;
 * ``list``              -- list workloads, experiment ids, and scenario
   kinds (``--json`` for the introspectable registry).
+
+``profile``/``report``/``serve``/``datacenter`` additionally take
+``--trace-out TRACE.json`` (Chrome trace export), ``--trace-jsonl``
+(one span object per line), and ``--profile`` (span-time summary table
+on stderr); ``REPRO_TRACE_OUT=trace.json`` in the environment does the
+same without touching the command line.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: ``serve`` flag defaults, resolved after parsing so the CLI can tell
@@ -151,6 +161,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(argv)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Re-parse the wrapped command with tracing forced on.
+
+    ``repro trace serve --workload mlp0`` == ``repro serve --workload
+    mlp0 --trace-out trace.json``; an explicit ``--trace-out`` after the
+    inner subcommand overrides the default path.
+    """
+    rest = [token for token in args.rest if token != "--"]
+    if not rest:
+        print("trace: give a command to trace, e.g. "
+              "`python -m repro trace serve --workload mlp0`", file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("trace: cannot nest trace inside trace", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    if getattr(inner, "trace_out", None) is None:
+        inner.trace_out = args.trace_out
+    return _with_obs(inner)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import ServeScenario, SpecError, run
 
@@ -235,6 +266,17 @@ def _add_scenario_io(parser: argparse.ArgumentParser) -> None:
                         help="print the structured ScenarioResult as JSON")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="TRACE.json",
+                        help="record spans and write a Chrome trace-event "
+                             "JSON (open in Perfetto / chrome://tracing)")
+    parser.add_argument("--trace-jsonl", default=None, metavar="SPANS.jsonl",
+                        help="also write the spans as JSON lines")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a span-time summary table to stderr "
+                             "after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--weight-bits", type=int, default=8, choices=(8, 16))
     profile.add_argument("--activation-bits", type=int, default=8, choices=(8, 16))
     _add_scenario_io(profile)
+    _add_obs_flags(profile)
     profile.set_defaults(fn=_cmd_profile)
 
     experiment = sub.add_parser("experiment", help="regenerate one table/figure")
@@ -272,7 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--only", default=None, metavar="IDS",
                         help="comma-separated experiment ids (default: all)")
     report.add_argument("--jobs", type=int, default=1,
-                        help="run experiments across N processes (default 1)")
+                        help="run experiments across N processes (default 1; "
+                             "traced spans stay in-process, so trace with 1)")
+    _add_obs_flags(report)
     report.set_defaults(fn=_cmd_report)
 
     bench = sub.add_parser(
@@ -337,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay an arrival trace file (one timestamp/line) "
                             "instead of sweeping Poisson loads")
     _add_scenario_io(serve)
+    _add_obs_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
 
     datacenter = sub.add_parser(
@@ -374,13 +420,73 @@ def build_parser() -> argparse.ArgumentParser:
     datacenter.add_argument("--capex-per-watt", type=float, default=12.0,
                             help="CapEx per provisioned TDP Watt (default 12)")
     _add_scenario_io(datacenter)
+    _add_obs_flags(datacenter)
     datacenter.set_defaults(fn=_cmd_datacenter)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run any subcommand with span tracing on "
+             "(writes a Perfetto-loadable trace.json)",
+        description="Wrapper: `repro trace serve --workload mlp0` runs the "
+        "serve command with tracing enabled and writes the spans as Chrome "
+        "trace-event JSON.  Put trace flags after the inner subcommand.",
+    )
+    trace.add_argument("--trace-out", default="trace.json",
+                       help="where the wrapped command writes its trace "
+                            "(default trace.json)")
+    trace.add_argument("rest", nargs=argparse.REMAINDER,
+                       help="the command to trace, with its own flags")
+    trace.set_defaults(fn=_cmd_trace)
     return parser
+
+
+def _with_obs(args: argparse.Namespace) -> int:
+    """Dispatch a parsed command, honoring its observability flags.
+
+    Enables the tracer (and, for ``--profile``, the metrics registry)
+    around the command, then exports: Chrome trace JSON to
+    ``--trace-out`` (or ``REPRO_TRACE_OUT``), JSONL to ``--trace-jsonl``,
+    and the span-time summary table to stderr for ``--profile``.
+    """
+    from repro import obs
+
+    if args.command == "trace":  # the wrapper re-dispatches its inner command
+        return args.fn(args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        trace_out = os.environ.get("REPRO_TRACE_OUT") or None
+    trace_jsonl = getattr(args, "trace_jsonl", None)
+    profiling = getattr(args, "profile", False)
+    if not (trace_out or trace_jsonl or profiling):
+        return args.fn(args)
+
+    previous_trace = obs.TRACER.enabled
+    previous_metrics = obs.REGISTRY.enabled
+    obs.TRACER.clear()
+    obs.TRACER.enabled = True
+    if profiling:
+        obs.REGISTRY.enabled = True
+    try:
+        code = args.fn(args)
+    finally:
+        obs.TRACER.enabled = previous_trace
+        obs.REGISTRY.enabled = previous_metrics
+        if trace_out:
+            n = obs.TRACER.write_chrome(trace_out)
+            print(f"wrote {trace_out} ({n} spans); load it in "
+                  f"https://ui.perfetto.dev", file=sys.stderr)
+        if trace_jsonl:
+            obs.TRACER.write_jsonl(trace_jsonl)
+            print(f"wrote {trace_jsonl}", file=sys.stderr)
+        if profiling:
+            print(obs.span_summary(obs.TRACER.snapshot()).render(),
+                  file=sys.stderr)
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    return _with_obs(args)
 
 
 if __name__ == "__main__":

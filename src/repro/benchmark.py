@@ -28,15 +28,18 @@ import argparse
 import json
 import os
 import subprocess
-import sys
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro import obs
+
+_log = obs.get_logger("repro.benchmark")
 
 SCHEMA = "repro-bench/1"
 
 #: This PR's trajectory file (the committed convention: bump per PR).
-DEFAULT_OUTPUT = "BENCH_6.json"
+DEFAULT_OUTPUT = "BENCH_7.json"
 
 #: Requests per simulated operating point (full vs --quick).
 FULL_REQUESTS = 20000
@@ -53,12 +56,16 @@ class BenchRecord:
     name: str
     wall_seconds: float
     cache_hit_rate: float
+    #: :func:`repro.obs.metrics_snapshot` taken right after the bench --
+    #: what the timed run actually did (batches, compiles, device runs).
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
             "name": self.name,
             "wall_seconds": round(self.wall_seconds, 4),
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "metrics": self.metrics,
         }
 
 
@@ -76,15 +83,22 @@ def git_rev() -> str:
 
 
 def _timed(name: str, fn) -> BenchRecord:
-    """Run ``fn`` once, recording wall time and the perfcache hit rate."""
+    """Run ``fn`` once, recording wall time, the perfcache hit rate, and
+    a metrics snapshot of what the run did (registry enabled per bench)."""
     from repro import perfcache
 
     cache = perfcache.get_cache()
     cache.reset_counters()
+    obs.REGISTRY.reset()
+    previous = obs.REGISTRY.enabled
+    obs.REGISTRY.enabled = True
     start = time.perf_counter()
-    fn()
-    wall = time.perf_counter() - start
-    return BenchRecord(name, wall, cache.stats().hit_rate)
+    try:
+        fn()
+    finally:
+        wall = time.perf_counter() - start
+        obs.REGISTRY.enabled = previous
+    return BenchRecord(name, wall, cache.stats().hit_rate, obs.metrics_snapshot())
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +237,9 @@ def validate(payload: dict) -> None:
             raise ValueError(
                 f"{name}: cache_hit_rate must be in [0, 1], got {rate!r}"
             )
+        metrics = bench.get("metrics", {})
+        if not isinstance(metrics, dict):  # optional, but a dict when present
+            raise ValueError(f"{name}: metrics must be a dict, got {metrics!r}")
 
 
 def write_bench(path: str, quick: bool = False, jobs: int = 4) -> dict:
@@ -255,12 +272,12 @@ def main(argv: list[str] | None = None) -> int:
     try:
         payload = write_bench(args.out, quick=args.quick, jobs=args.jobs)
     except Exception as exc:  # CI contract: fail loudly on harness errors
-        print(f"bench: {exc}", file=sys.stderr)
+        _log.error("bench: %s", exc)
         return 1
     for bench in payload["benches"]:
-        print(f"{bench['name']:<24} {bench['wall_seconds']:>8.2f}s  "
-              f"hit rate {bench['cache_hit_rate']:.0%}", file=sys.stderr)
-    print(f"wrote {args.out} (rev {payload['git_rev']})", file=sys.stderr)
+        _log.info("%-24s %8.2fs  hit rate %.0f%%", bench["name"],
+                  bench["wall_seconds"], 100 * bench["cache_hit_rate"])
+    _log.info("wrote %s (rev %s)", args.out, payload["git_rev"])
     return 0
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.compiler.allocator import Allocation
 from repro.compiler.lowering import Lowering
 from repro.core.config import TPUConfig, TPU_V1
@@ -115,6 +116,7 @@ class TPUDriver:
         if cached is not None and (
             cached.model is model or (params is None and cached.model == model)
         ):
+            obs.counter("compiler.cache_hits").inc()
             return cached
         lowering = Lowering(
             model,
@@ -124,7 +126,12 @@ class TPUDriver:
             weight_bits=weight_bits,
             activation_bits=activation_bits,
         )
-        result = lowering.lower()
+        with obs.span(
+            f"compile:{model.name}", cat="compiler",
+            batch=model.batch_size, mode=key[2],
+        ):
+            result = lowering.lower()
+        obs.counter("compiler.compiles").inc()
         compiled = CompiledModel(
             model=model,
             program=result.program,
@@ -161,7 +168,8 @@ class TPUDriver:
             if cached is not None:
                 return cached
         device = TPUDevice(self.config, functional=False)
-        result = device.run(compiled.program)
+        with obs.span(f"profile:{compiled.program.name}", cat="compiler"):
+            result = device.run(compiled.program)
         if self.config == compiled.config:
             compiled._profile_result = result
         return result

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.compiler.allocator import Allocation, LivenessAllocator, Request
 from repro.compiler.tiling import tile_matmul
 from repro.core.config import TPUConfig
@@ -985,7 +986,11 @@ class Lowering:
         self._declare_staging(input_t, layer_tensors[-1], n_layers)
         self._predeclare_scratch()
 
-        allocation = self.allocator.allocate(self._requests, self.config.unified_buffer_bytes)
+        with obs.span(f"allocate:{model.name}", cat="compiler",
+                      tensors=len(self._requests)):
+            allocation = self.allocator.allocate(
+                self._requests, self.config.unified_buffer_bytes
+            )
         # Virtual row numbering: a bump cursor in declaration order keeps
         # every tensor's addressing span disjoint; byte placement (and the
         # Table 8 footprint) comes from the allocator above.
@@ -1014,22 +1019,24 @@ class Lowering:
         for i, layer in enumerate(model.layers):
             self._emit(DebugTag(tag=i))
             out_t = layer_tensors[i]
-            if isinstance(layer, FullyConnected):
-                self._lower_fc(i, layer, current, out_t)
-            elif isinstance(layer, Conv2D):
-                self._lower_conv(i, layer, current, out_t)
-            elif isinstance(layer, LSTMCell):
-                self._lower_lstm(i, layer, current, out_t)
-            elif isinstance(layer, VectorOp):
-                self._lower_vector(i, layer, current, out_t)
-            elif isinstance(layer, Pooling):
-                self._lower_pool(i, layer, current, out_t, current_shape)
-            elif isinstance(layer, MultiHeadAttention):
-                self._lower_attention(i, layer, current, out_t)
-            elif isinstance(layer, LayerNorm):
-                self._lower_norm(i, layer, current, out_t)
-            else:
-                raise TypeError(f"cannot lower layer {layer!r}")
+            with obs.span(f"pass:{model.name}.{layer.name}", cat="compiler",
+                          kind=type(layer).__name__, layer=i):
+                if isinstance(layer, FullyConnected):
+                    self._lower_fc(i, layer, current, out_t)
+                elif isinstance(layer, Conv2D):
+                    self._lower_conv(i, layer, current, out_t)
+                elif isinstance(layer, LSTMCell):
+                    self._lower_lstm(i, layer, current, out_t)
+                elif isinstance(layer, VectorOp):
+                    self._lower_vector(i, layer, current, out_t)
+                elif isinstance(layer, Pooling):
+                    self._lower_pool(i, layer, current, out_t, current_shape)
+                elif isinstance(layer, MultiHeadAttention):
+                    self._lower_attention(i, layer, current, out_t)
+                elif isinstance(layer, LayerNorm):
+                    self._lower_norm(i, layer, current, out_t)
+                else:
+                    raise TypeError(f"cannot lower layer {layer!r}")
             src = model.residual_sources.get(i)
             if src is not None:
                 skip_t = input_t if src == -1 else layer_tensors[src]

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.accumulators import AccumulatorFile
 from repro.core.activation_unit import ActivationUnit
 from repro.core.config import TPUConfig, TPU_V1
@@ -136,7 +138,56 @@ class TPUDevice:
         codes.  In timing mode data is ignored entirely.
         """
         runner = _Run(self, program, host_input)
-        return runner.execute()
+        if not (obs.TRACER.enabled or obs.REGISTRY.enabled):
+            return runner.execute()
+        start = time.perf_counter()
+        result = runner.execute()
+        _record_run(self, result, time.perf_counter() - start)
+        return result
+
+
+def _record_run(device: "TPUDevice", result: ExecutionResult, wall_s: float) -> None:
+    """Observability for one program replay (only called when enabled).
+
+    The span carries the simulated outcome (cycles, simulated ms) against
+    real elapsed time; the metrics mirror the paper's per-unit counters --
+    MXU active / weight-path stall / shift / non-matrix cycle totals plus
+    the DMA and Unified Buffer byte counters -- accumulated across runs.
+    """
+    b = result.breakdown
+    if obs.TRACER.enabled:
+        now = obs.TRACER.now()
+        obs.TRACER.record_wall(
+            f"device:{result.program_name}", now - wall_s * 1e6, wall_s * 1e6,
+            cat="device",
+            batch=result.batch_size,
+            cycles=result.cycles,
+            sim_ms=result.seconds * 1e3,
+            mxu_active_frac=round(b.active_fraction, 4),
+            functional=device.functional,
+            fast=device.fast,
+        )
+    if obs.REGISTRY.enabled:
+        obs.counter("device.runs").inc()
+        obs.counter("device.cycles.total").inc(b.total)
+        obs.counter("device.cycles.mxu_active").inc(b.active)
+        obs.counter("device.cycles.weight_stall").inc(b.weight_stall)
+        obs.counter("device.cycles.weight_shift").inc(b.weight_shift)
+        obs.counter("device.cycles.non_matrix").inc(b.non_matrix)
+        counters = result.counters
+        for metric, key in (
+            ("device.cycles.dma_in", "dma_in_cycles"),
+            ("device.cycles.dma_out", "dma_out_cycles"),
+            ("device.bytes.pcie_in", "pcie_bytes_in"),
+            ("device.bytes.pcie_out", "pcie_bytes_out"),
+            ("device.bytes.weight_read", "weight_bytes_read"),
+            ("device.bytes.ub_read", "ub_bytes_read"),
+            ("device.bytes.ub_written", "ub_bytes_written"),
+            ("device.macs_issued", "macs_issued"),
+        ):
+            value = counters.get(key)
+            if value:
+                obs.counter(metric).inc(value)
 
 
 # ----------------------------------------------------------------------

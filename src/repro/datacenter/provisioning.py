@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.datacenter.autoscaler import (
     AutoscaleConfig,
     AutoscaledFleet,
@@ -80,9 +81,14 @@ def plan_capacity(
         fleet = Fleet(
             [spec.make_replica(i) for i in range(n)], router=spec.router
         )
-        result = fleet.run(arrivals)
+        with obs.span(
+            f"provision:{spec.platform.kind}", cat="datacenter",
+            replicas=n, workload=spec.model.name,
+        ):
+            result = fleet.run(arrivals)
         stats = result.stats(slo_seconds=spec.slo_seconds)
         if stats.p99_seconds <= spec.slo_seconds or n == max_replicas:
+            obs.gauge(f"datacenter.provisioned_replicas.{spec.platform.kind}").set(n)
             power = ReplicaPower(spec.platform.kind, app=spec.model.name)
             energy = fleet_energy(result, power, window_seconds=window_seconds)
             cost = fleet_cost(
@@ -125,14 +131,22 @@ def compare_policies(
                 [spec.make_replica(i) for i in range(policy.replicas)],
                 router=spec.router,
             )
-            result = fleet.run(arrivals)
+            with obs.span(
+                f"policy:{policy.name}", cat="datacenter",
+                platform=spec.platform.kind,
+            ):
+                result = fleet.run(arrivals)
             peak, mean_powered = policy.replicas, float(policy.replicas)
             energy = fleet_energy(result, power, window_seconds=window_seconds)
         else:
-            scaled = AutoscaledFleet(
-                spec.make_replica, policy, config,
-                replica_rps=per_replica, router=spec.router,
-            ).run(arrivals)
+            with obs.span(
+                f"policy:{policy.name}", cat="datacenter",
+                platform=spec.platform.kind,
+            ):
+                scaled = AutoscaledFleet(
+                    spec.make_replica, policy, config,
+                    replica_rps=per_replica, router=spec.router,
+                ).run(arrivals)
             result = scaled.fleet
             peak, mean_powered = scaled.peak_replicas, scaled.mean_powered
             energy = fleet_energy(

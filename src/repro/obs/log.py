@@ -1,0 +1,58 @@
+"""Module-level logging for the whole package, routed through one root.
+
+Every diagnostic that used to be a bare ``print(..., file=sys.stderr)``
+goes through :func:`get_logger` instead: one ``repro`` root logger, a
+plain-message formatter (CLI narration should read like narration, not
+like a log file), and a handler that resolves ``sys.stderr`` *at emit
+time* so pytest's capture and shell redirection both see the output.
+
+``REPRO_LOG`` sets the level from the environment (``debug``, ``info``,
+``warning``, ``error``; default ``info``).  The ruff ``T201`` lint rule
+keeps new ``print()`` calls out of ``src/repro`` -- the CLI's stdout
+result rendering in ``__main__.py`` is the one sanctioned exception.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` currently is (capture-friendly)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - never let logging raise
+            self.handleError(record)
+
+
+def setup(level: int | str | None = None) -> logging.Logger:
+    """Configure the ``repro`` root logger once; later calls adjust level."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "info").upper()
+    if not _configured:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        root.propagate = False
+        _configured = True
+    root.setLevel(level if not isinstance(level, str) else getattr(logging, level, logging.INFO))
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A child of the configured ``repro`` root (configures on first use)."""
+    setup()
+    if not name or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

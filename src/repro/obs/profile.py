@@ -1,0 +1,54 @@
+"""Span-time profiling: aggregate a recorded trace into a summary table.
+
+The ``--profile`` CLI flag prints this after a run: spans grouped by
+name within each clock domain (wall vs simulated), with call counts,
+total/mean time, and each group's share of its domain -- the software
+analogue of the paper's Table 3 per-unit cycle breakdown, computed from
+the same trace the Chrome/Perfetto export renders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.trace import SIM_PID, WALL_PID, Span
+from repro.util.tables import TextTable
+
+_DOMAINS = {WALL_PID: "wall", SIM_PID: "sim"}
+
+
+def span_summary(spans: Iterable[Span], top: int = 30) -> TextTable:
+    """Aggregate spans by (clock domain, name) into a profile table.
+
+    Request-lifecycle spans (REQ_PID) fold into the ``sim`` domain; the
+    domain share column is relative to the summed span time of that
+    domain (spans nest, so shares can exceed 100% in aggregate -- the
+    table orders by total time, which is what a hot-path hunt needs).
+    """
+    groups: dict[tuple[str, str], tuple[int, float]] = {}
+    domain_totals: dict[str, float] = {}
+    for span in spans:
+        domain = _DOMAINS.get(span.pid, "sim")
+        key = (domain, span.name)
+        count, total = groups.get(key, (0, 0.0))
+        groups[key] = (count + 1, total + span.dur)
+        # Only top-level-ish accounting: domain total sums every span of
+        # that domain (nesting makes a strict self-time split ambiguous
+        # across threads; the share column is a ranking aid, not a sum).
+        domain_totals[domain] = domain_totals.get(domain, 0.0) + span.dur
+    table = TextTable(
+        ["clock", "span", "count", "total ms", "mean ms", "share"],
+        title="span-time profile",
+    )
+    ranked = sorted(groups.items(), key=lambda kv: -kv[1][1])
+    for (domain, name), (count, total_us) in ranked[:top]:
+        whole = domain_totals.get(domain, 0.0)
+        table.add_row([
+            domain,
+            name,
+            count,
+            total_us / 1e3,
+            total_us / count / 1e3,
+            f"{total_us / whole:.1%}" if whole else "-",
+        ])
+    return table

@@ -41,6 +41,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.nn.graph import Model
     from repro.platforms.base import Platform
@@ -245,6 +247,28 @@ class PerfCache:
 
 #: The process-wide cache every consumer routes through.
 GLOBAL = PerfCache()
+
+
+def _collect_metrics() -> dict:
+    """Publish the bespoke hit/miss counters through the metrics registry.
+
+    Pull-based (:func:`repro.obs.register_collector`), so the cache's hot
+    lookup path stays untouched: snapshots read the same counters the
+    benchmarks already report, and ``repro.obs.metrics_snapshot()`` shows
+    them as ``perfcache.hits`` / ``perfcache.misses`` / ``perfcache.
+    entries`` / ``perfcache.hit_rate`` alongside every other metric.
+    """
+    stats = GLOBAL.stats()
+    return {
+        "enabled": GLOBAL.enabled,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "entries": stats.entries,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+obs.register_collector("perfcache", _collect_metrics)
 
 
 def get_cache() -> PerfCache:

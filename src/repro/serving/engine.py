@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 
 class EventLoop:
     """A minimal heap-based discrete-event scheduler.
@@ -104,6 +106,8 @@ class BatchServer:
         self.batches = 0
         self.served = 0
         self.busy_intervals: list[tuple[float, float]] = []
+        #: Simulated-time trace track (assigned by FleetSim per replica).
+        self.trace_tid = 0
 
     def idle_at(self, now: float) -> bool:
         return self.free_at <= now
@@ -125,6 +129,16 @@ class BatchServer:
         self.batches += 1
         self.served += batch
         self.busy_intervals.append((now, self.free_at))
+        if obs.TRACER.enabled:
+            obs.TRACER.sim_span(
+                "batch", now, occupancy, cat="serving",
+                tid=self.trace_tid, batch=batch,
+            )
+        if obs.REGISTRY.enabled:
+            obs.counter("serving.batches").inc()
+            obs.counter("serving.requests").inc(batch)
+            obs.histogram("serving.batch_size").observe(batch)
+            obs.histogram("serving.batch_occupancy_s").observe(occupancy)
         return now + self.curve.latency(batch)
 
 

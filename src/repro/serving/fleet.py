@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import perfcache
+from repro import obs, perfcache
 from repro.nn.graph import Model
 from repro.platforms.base import BATCH_CANDIDATES, Platform
 from repro.serving.batcher import Batcher
@@ -237,6 +237,11 @@ class FleetSim:
         self.loop = EventLoop()
         self.responses = np.full(arrivals.size, np.nan)
         self.pending = arrivals.size  # arrivals not yet processed
+        # One flag decides whether the hot launch path pays for
+        # observability at all; replica trace tracks are assigned lazily
+        # so autoscaler-spawned replicas get tids too.
+        self._observe = obs.TRACER.enabled or obs.REGISTRY.enabled
+        self._tids: dict[int, int] = {}
 
     def poll(self, replica: Replica) -> None:
         """Launch a batch on ``replica`` if its policy says so."""
@@ -264,10 +269,43 @@ class FleetSim:
             self.loop.schedule(replica.server.free_at, lambda _t: self.poll(replica))
 
     def _launch(self, replica: Replica, n: int, now: float) -> None:
+        if self._observe:
+            self._pre_launch(replica, n)
         batch = [replica.queue.popleft() for _ in range(n)]
         done = replica.server.start_batch(now, n)
         for request in batch:
             self.responses[request.index] = done - request.arrival
+        if self._observe:
+            self._post_launch(replica, batch, now, done)
+
+    def _pre_launch(self, replica: Replica, n: int) -> None:
+        """Observability bookkeeping before a batch is popped (cold path)."""
+        tid = self._tids.get(id(replica))
+        if tid is None:
+            tid = self._tids[id(replica)] = len(self._tids)
+        replica.server.trace_tid = tid
+        if obs.REGISTRY.enabled:
+            obs.histogram("serving.queue_depth_at_launch").observe(len(replica.queue))
+
+    def _post_launch(
+        self, replica: Replica, batch: list[Request], now: float, done: float
+    ) -> None:
+        """Per-request lifecycle spans and queue-wait metrics (cold path)."""
+        if obs.TRACER.enabled:
+            tid = replica.server.trace_tid
+            for request in batch:
+                obs.TRACER.sim_span(
+                    "request",
+                    request.arrival,
+                    done - request.arrival,
+                    cat="serving",
+                    tid=tid,
+                    pid=obs.REQ_PID,
+                    wait_ms=(now - request.arrival) * 1e3,
+                    batch=len(batch),
+                )
+        if obs.REGISTRY.enabled:
+            obs.histogram("serving.queue_wait_s").observe(now - batch[0].arrival)
 
     def _on_arrival(self, request: Request) -> None:
         self.pending -= 1
