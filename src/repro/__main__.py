@@ -155,7 +155,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.benchmark import main as bench_main
 
-    argv = ["--out", args.out, "--jobs", str(args.jobs)]
+    if args.latest_name:
+        return bench_main(["--latest-name"])
+    argv = ["--jobs", str(args.jobs)]
+    if args.out is not None:
+        argv += ["--out", args.out]
     if args.quick:
         argv.append("--quick")
     return bench_main(argv)
@@ -328,14 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
         "and a serving load sweep (plus an identical repeat), recording "
         "wall seconds and the perfcache hit rate per scenario.",
     )
-    from repro.benchmark import DEFAULT_OUTPUT
-
-    bench.add_argument("--out", default=DEFAULT_OUTPUT,
-                       help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: the newest "
+                            "committed BENCH_*.json name)")
     bench.add_argument("--quick", action="store_true",
                        help="small scenarios for CI smoke runs")
     bench.add_argument("--jobs", type=int, default=4,
                        help="worker processes for the report bench (default 4)")
+    bench.add_argument("--latest-name", action="store_true",
+                       help="print the newest committed BENCH_*.json "
+                            "name and exit (for CI scripting)")
     bench.set_defaults(fn=_cmd_bench)
 
     serve = sub.add_parser(

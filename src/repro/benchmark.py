@@ -27,7 +27,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import subprocess
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -38,8 +40,32 @@ _log = obs.get_logger("repro.benchmark")
 
 SCHEMA = "repro-bench/1"
 
-#: This PR's trajectory file (the committed convention: bump per PR).
-DEFAULT_OUTPUT = "BENCH_7.json"
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def latest_bench_name(directory: str | None = None) -> str:
+    """The newest committed trajectory file name (highest ``N``).
+
+    Scans ``directory`` (default: the repo root, three levels above this
+    module) for ``BENCH_<N>.json`` and returns the highest-numbered name,
+    or ``BENCH_0.json`` when none exist yet.  This is what keeps CI free
+    of hardcoded trajectory names: each PR that commits ``BENCH_<n+1>.json``
+    automatically becomes the name the harness writes and uploads.
+    """
+    if directory is None:
+        directory = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    best = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = _BENCH_NAME.match(name)
+        if match:
+            best = max(best, int(match.group(1)))
+    return f"BENCH_{best}.json"
 
 #: Requests per simulated operating point (full vs --quick).
 FULL_REQUESTS = 20000
@@ -119,6 +145,58 @@ def _bench_report(quick: bool, jobs: int = 4) -> list[BenchRecord]:
 
     suffix = "_quick" if quick else ""
     return [_timed(f"report_jobs{jobs}{suffix}", run)]
+
+
+def _bench_compile(quick: bool) -> list[BenchRecord]:
+    """Cold vs cache-hot compilation of the six paper programs.
+
+    ``compile_cold`` drops the process-wide emission memo and lowers all
+    six programs from scratch on a fresh driver -- the array-emission
+    fast path's cost.  ``compile_warm`` compiles the same six on another
+    fresh driver: every lowering should replay a cached emission and pay
+    only for allocation, which is the cost a sweep's curve anchors or a
+    ``report --jobs`` worker actually sees.
+    """
+    from repro import perfcache
+    from repro.compiler.driver import TPUDriver
+    from repro.nn.workloads import paper_workloads
+
+    models = list(paper_workloads().values())
+
+    def compile_all() -> None:
+        driver = TPUDriver()
+        for model in models:
+            driver.compile(model)
+
+    perfcache.GLOBAL_LOWERING.invalidate()
+    cold = _timed("compile_cold", compile_all)
+    warm = _timed("compile_warm", compile_all)
+    return [cold, warm]
+
+
+def _bench_serving_inner_loop(quick: bool) -> list[BenchRecord]:
+    """The raw fleet inner loop, isolated from platform curves and sweep
+    scaffolding: saturating Poisson traffic into four constant-curve
+    replicas through the jsq router.  Times exactly the vectorized
+    admission/completion path that ``REPRO_SERVING_FAST`` gates.
+    """
+    from repro.serving.batcher import TimeoutBatcher
+    from repro.serving.engine import ConstantCurve
+    from repro.serving.fleet import Fleet, Replica
+    from repro.serving.traffic import poisson_arrivals
+
+    n_requests = 20_000 if quick else 200_000
+    arrivals = poisson_arrivals(rate=204800.0, n_requests=n_requests, seed=0)
+
+    def run() -> None:
+        curve = ConstantCurve(occupancy_seconds=1e-3, latency_seconds=1.5e-3)
+        fleet = Fleet(
+            [Replica(curve, TimeoutBatcher(64, 5e-4), name=f"r{i}") for i in range(4)],
+            router="jsq",
+        )
+        fleet.run(arrivals)
+
+    return [_timed("serving_inner_loop", run)]
 
 
 def _provisioning_inputs(quick: bool):
@@ -206,8 +284,10 @@ def run_benches(quick: bool = False, jobs: int = 4) -> dict:
     """Run every scenario and assemble the trajectory point."""
     records: list[BenchRecord] = []
     records += _bench_report(quick, jobs=jobs)
+    records += _bench_compile(quick)
     records += _bench_provisioning(quick)
     records += _bench_serving_sweep(quick)
+    records += _bench_serving_inner_loop(quick)
     return {
         "schema": SCHEMA,
         "git_rev": git_rev(),
@@ -258,26 +338,34 @@ def build_parser() -> argparse.ArgumentParser:
         description="Time the hot analysis paths and write a "
                     "BENCH_*.json trajectory point.",
     )
-    parser.add_argument("--out", default=DEFAULT_OUTPUT,
-                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: the newest "
+                             "committed BENCH_*.json name)")
     parser.add_argument("--quick", action="store_true",
                         help="small scenarios for CI smoke runs")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the report bench (default 4)")
+    parser.add_argument("--latest-name", action="store_true",
+                        help="print the newest committed BENCH_*.json "
+                             "name and exit (for CI scripting)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.latest_name:
+        sys.stdout.write(latest_bench_name() + "\n")
+        return 0
+    out = args.out if args.out is not None else latest_bench_name()
     try:
-        payload = write_bench(args.out, quick=args.quick, jobs=args.jobs)
+        payload = write_bench(out, quick=args.quick, jobs=args.jobs)
     except Exception as exc:  # CI contract: fail loudly on harness errors
         _log.error("bench: %s", exc)
         return 1
     for bench in payload["benches"]:
         _log.info("%-24s %8.2fs  hit rate %.0f%%", bench["name"],
                   bench["wall_seconds"], 100 * bench["cache_hit_rate"])
-    _log.info("wrote %s (rev %s)", args.out, payload["git_rev"])
+    _log.info("wrote %s (rev %s)", out, payload["git_rev"])
     return 0
 
 

@@ -26,13 +26,14 @@ Conventions established here and honoured by the device:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
 from repro.compiler.allocator import Allocation, LivenessAllocator, Request
-from repro.compiler.tiling import tile_matmul
+from repro.compiler.tiling import tile_grid, tile_matmul
 from repro.core.config import TPUConfig
 from repro.isa.instructions import (
     Activate,
@@ -75,6 +76,12 @@ SETUP_BANK_STRIDE = 1 << 22
 #: The paper: the Unified Buffer was sized so MLPs could run at batch
 #: sizes up to 2048; the driver stages that many examples for all-FC apps.
 MLP_STAGING_EXAMPLES = 2048
+
+#: ``REPRO_LOWERING_FAST=0`` forces the reference per-tile emission loop
+#: (mirrors ``REPRO_DEVICE_FAST``); the fast path hoists loop-invariant
+#: dependency reads and memoizes repeated instruction values, and is
+#: byte-identical by construction (pinned by tests/test_paper_parity.py).
+_FAST_DEFAULT = os.environ.get("REPRO_LOWERING_FAST", "1") != "0"
 
 
 def groups_of(width: int) -> int:
@@ -167,6 +174,70 @@ class LoweringResult:
     tensors: dict[str, LoweredTensor] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class EmissionRecord:
+    """The allocator-independent half of one timing-mode lowering.
+
+    Instruction addressing comes from a virtual bump cursor in tensor
+    declaration order, so everything here -- instructions, dependency
+    tokens, tiles, scales -- depends only on (model structure, batch,
+    config, operand widths).  The allocator contributes nothing but the
+    byte placement reported in the program metadata, which
+    :meth:`finish` recomputes per consumer.  That split is what lets
+    :class:`repro.perfcache.LoweringCache` replay one emission across
+    fresh drivers and across allocator choices (the Table 8 study).
+
+    Records are immutable and their parts are shared, never copied:
+    a cache hit returns a program built from the very same instruction
+    objects the first compile produced, so byte-identity of
+    ``program.binary()`` is structural, not asserted.
+    """
+
+    name: str
+    batch_size: int
+    instructions: tuple[Instruction, ...]
+    tiles: dict[int, TileSpec]
+    scales: tuple[ScaleEntry, ...]
+    host_buffers: dict[int, HostBufferSpec]
+    requests: tuple[Request, ...]
+    tensors: dict[str, LoweredTensor]
+    #: Metadata entries minus the allocation-dependent pair
+    #: (``ub_peak_bytes`` / ``allocator``), in canonical order.
+    metadata_rest: dict
+
+    def finish(self, allocation: Allocation) -> LoweringResult:
+        """Assemble the program around one concrete allocation."""
+        metadata = {
+            "model": self.name,
+            "batch_size": self.batch_size,
+            "ub_peak_bytes": allocation.peak_bytes,
+            "allocator": allocation.allocator,
+        }
+        metadata.update(self.metadata_rest)
+        program = TPUProgram(
+            name=self.name,
+            instructions=self.instructions,
+            tiles=self.tiles,
+            scales=self.scales,
+            host_buffers=self.host_buffers,
+            batch_size=self.batch_size,
+            metadata=metadata,
+        )
+        return LoweringResult(
+            program=program, allocation=allocation, tensors=self.tensors
+        )
+
+    def materialize(self, allocator, config: TPUConfig) -> LoweringResult:
+        """Re-run only the allocation pass (the lowering-cache hit path)."""
+        allocator = allocator if allocator is not None else LivenessAllocator()
+        with obs.span(f"allocate:{self.name}", cat="compiler",
+                      tensors=len(self.requests)):
+            allocation = allocator.allocate(
+                list(self.requests), config.unified_buffer_bytes
+            )
+        return self.finish(allocation)
+
+
 class Lowering:
     """Single-use lowering context for one model."""
 
@@ -178,6 +249,7 @@ class Lowering:
         allocator=None,
         weight_bits: int = 8,
         activation_bits: int = 8,
+        fast: bool | None = None,
     ) -> None:
         if config.matrix_dim != ROW_BYTES:
             raise NotImplementedError(
@@ -219,6 +291,15 @@ class Lowering:
         self._pass_toggle = 0
         self._setup_toggle = 0
         self._unit_scale = TensorScale(1.0)
+        self.fast = _FAST_DEFAULT if fast is None else fast
+        #: Filled by :meth:`lower`; what the driver hands to the
+        #: process-wide lowering cache.
+        self.record: EmissionRecord | None = None
+        # Fast-path instruction memos: frozen dataclasses compare by
+        # value, so an equal instruction object is interchangeable in the
+        # stream (and in ``binary()``) with a freshly built one.
+        self._rw_memo: dict[int, ReadWeights] = {}
+        self._mm_memo: dict[tuple, MatrixMultiply] = {}
 
     # ------------------------------------------------------------------
     # scale helpers
@@ -368,6 +449,26 @@ class Lowering:
         if not dynamic and self.params is not None and layer_name in self.params.weights:
             weight = self.params.weights[layer_name].data
         stripes: dict[int, list[tuple[int, int, int, int, int]]] = {}
+        if weight is None and self.fast:
+            # Timing mode: no tile data to slice, so the grid coordinates
+            # come straight from arrays instead of per-tile objects.
+            kt, nt = tile_grid(k, n, self.dim)
+            k0s = (np.arange(kt) * self.dim).tolist()
+            k_exts = np.minimum(self.dim, k - np.arange(kt) * self.dim).tolist()
+            n0s = (np.arange(nt) * self.dim).tolist()
+            n_exts = np.minimum(self.dim, n - np.arange(nt) * self.dim).tolist()
+            tiles = self._tiles
+            for ni in range(nt):
+                n0, n_ext = n0s[ni], n_exts[ni]
+                stripe = stripes[n0] = []
+                for ki in range(kt):
+                    tile_id = len(tiles)
+                    tiles[tile_id] = TileSpec(
+                        tile_id=tile_id, rows=k_exts[ki], cols=n_ext,
+                        data=None, dynamic=dynamic,
+                    )
+                    stripe.append((tile_id, k0s[ki], k_exts[ki], n0, n_ext))
+            return stripes
         for coord in tile_matmul(k, n, self.dim):
             tile_id = len(self._tiles)
             data = None
@@ -397,6 +498,12 @@ class Lowering:
         (the activations it is built from); static weight fetches have no
         UB dependencies.
         """
+        if self.fast:
+            self._matmul_pass_fast(
+                stripe, src_tokens_of_group, src_row_of_group, rows,
+                acc_base, convolve, rw_reads,
+            )
+            return
         for seq, (tile_id, k0, _k_ext, _n0, _n_ext) in enumerate(stripe):
             group = k0 // self.dim
             self._emit(ReadWeights(tile_id=tile_id), InstrDeps(reads=rw_reads))
@@ -425,6 +532,101 @@ class Lowering:
                     war=acc_war,
                 ),
             )
+
+    def _matmul_pass_fast(
+        self,
+        stripe: list[tuple[int, int, int, int, int]],
+        src_tokens_of_group,
+        src_row_of_group,
+        rows: int,
+        acc_base: int,
+        convolve: bool,
+        rw_reads: tuple[int, ...],
+    ) -> None:
+        """The default emission loop: same stream, less Python.
+
+        Identical to the reference loop above by construction:
+
+        * Read_Weights and MatrixMultiply values repeat heavily (an LSTM
+          re-streams the same resident tiles over the same concat rows
+          every step), so equal instructions are memoized -- frozen
+          dataclasses make an equal object indistinguishable in the
+          stream and in ``binary()``.
+        * Every Read_Weights of a pass carries the same dependency tuple,
+          and the accumulating K-steps (seq > 0) all read the same token
+          set: nothing writes the accumulator range between them, so the
+          reference loop's per-step ``_tracker.read`` calls return one
+          value, computed here once.
+        * Token *allocation* order is untouched: the single accumulator
+          write still happens at seq == 0.
+        """
+        instructions = self._instructions
+        deps = self._deps
+        rw_deps = InstrDeps(reads=rw_reads)
+        rw_memo = self._rw_memo
+        mm_memo = self._mm_memo
+        accumulate_reads: tuple[int, ...] | None = None
+        for seq, (tile_id, k0, _k_ext, _n0, _n_ext) in enumerate(stripe):
+            group = k0 // self.dim
+            rw = rw_memo.get(tile_id)
+            if rw is None:
+                rw = rw_memo[tile_id] = ReadWeights(tile_id=tile_id)
+            instructions.append(rw)
+            deps.append(rw_deps)
+            if seq == 0:
+                acc_writes, acc_war = self._acc_write(acc_base, rows)
+                acc_reads: tuple[int, ...] = ()
+            else:
+                if accumulate_reads is None:
+                    accumulate_reads = self._tracker.read(
+                        "acc", acc_base, acc_base + rows
+                    )
+                acc_reads = accumulate_reads
+                acc_writes, acc_war = (), ()
+            ub_row = src_row_of_group(group)
+            mm_key = (ub_row, acc_base, rows, seq > 0, convolve)
+            mm = mm_memo.get(mm_key)
+            if mm is None:
+                mm = mm_memo[mm_key] = MatrixMultiply(
+                    ub_row=ub_row,
+                    acc_row=acc_base,
+                    rows=rows,
+                    accumulate=seq > 0,
+                    load_new_tile=True,
+                    convolve=convolve,
+                    weight_bits=self.weight_bits,
+                    activation_bits=self.activation_bits,
+                )
+            instructions.append(mm)
+            deps.append(
+                InstrDeps(
+                    reads=tuple(src_tokens_of_group(group)) + acc_reads,
+                    writes=acc_writes,
+                    war=acc_war,
+                )
+            )
+
+    def _pass_inputs(self, src_t: LoweredTensor, r0: int, rows: int):
+        """(tokens_of_group, ub_row_of_group) accessors for matmul passes
+        streaming ``rows`` rows of ``src_t`` starting at ``r0``.
+
+        Call sites hoist this out of their stripe loops: nothing writes
+        the source tensor between the stripes of one row chunk, so every
+        stripe's per-group token reads return identical tuples.  The fast
+        path materializes them once per chunk; the reference path keeps
+        the per-tile lazy reads.
+        """
+        if self.fast:
+            tokens = [
+                self._read_tensor_range(src_t, r0, rows, g * ROW_BYTES, ROW_BYTES)
+                for g in range(src_t.groups)
+            ]
+            ub_rows = [src_t.group_row(g, r0) for g in range(src_t.groups)]
+            return tokens.__getitem__, ub_rows.__getitem__
+        return (
+            lambda g: self._read_tensor_range(src_t, r0, rows, g * ROW_BYTES, ROW_BYTES),
+            lambda g: src_t.group_row(g, r0),
+        )
 
     def _acc_write(self, acc_base: int, rows: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
         token, war = self._tracker.write("acc", acc_base, acc_base + rows)
@@ -485,16 +687,11 @@ class Lowering:
             return
         for t in range(layer.steps):
             row0 = t * batch if layer.steps > 1 else 0
+            src_tokens, src_rows = self._pass_inputs(src_t, row0, batch)
             for n0, stripe in stripes.items():
                 n_ext = stripe[0][4]
                 acc_base = self._next_acc_bank()
-                self._matmul_pass(
-                    stripe,
-                    lambda g, r0=row0: self._read_tensor_range(src_t, r0, batch, g * ROW_BYTES, ROW_BYTES),
-                    lambda g, r0=row0: src_t.group_row(g, r0),
-                    batch,
-                    acc_base,
-                )
+                self._matmul_pass(stripe, src_tokens, src_rows, batch, acc_base)
                 acc_reads = self._acc_read(acc_base, batch)
                 writes, war = self._write_tensor_range(out_t, row0, batch, n0, n_ext)
                 self._emit(
@@ -528,18 +725,11 @@ class Lowering:
         chunk = max(chunk, 1)
         for r0 in range(0, total_rows, chunk):
             rows = min(chunk, total_rows - r0)
+            src_tokens, src_rows = self._pass_inputs(src_t, r0, rows)
             for n0, stripe in stripes.items():
                 n_ext = stripe[0][4]
                 acc_base = self._next_acc_bank()
-                self._matmul_pass(
-                    stripe,
-                    lambda g, r=r0, rr=rows: self._read_tensor_range(
-                        src_t, r, rr, g * ROW_BYTES, ROW_BYTES
-                    ),
-                    lambda g, r=r0: src_t.group_row(g, r),
-                    rows,
-                    acc_base,
-                )
+                self._matmul_pass(stripe, src_tokens, src_rows, rows, acc_base)
                 acc_reads = self._acc_read(acc_base, rows)
                 writes, war = self._write_tensor_range(out_t, r0, rows, n0, n_ext)
                 self._emit(
@@ -873,12 +1063,13 @@ class Lowering:
                 ),
                 InstrDeps(reads=reads, writes=writes, war=war),
             )
+            src_tokens, src_rows = self._pass_inputs(concat, 0, batch)
             acc_base = self._next_acc_bank()
             for n0, stripe in stripes.items():
                 self._matmul_pass(
                     stripe,
-                    lambda g: self._read_tensor_range(concat, 0, batch, g * ROW_BYTES, ROW_BYTES),
-                    lambda g: concat.group_row(g),
+                    src_tokens,
+                    src_rows,
                     batch,
                     acc_base + (n0 // self.dim) * batch,
                 )
@@ -969,12 +1160,27 @@ class Lowering:
     # top level
     # ------------------------------------------------------------------
     def lower(self) -> LoweringResult:
+        """Declare, allocate (fail-fast on UB overflow), then emit.
+
+        The emission half lands in :attr:`record` so the driver can
+        publish it to the process-wide lowering cache; cache hits later
+        call :meth:`EmissionRecord.materialize`, re-running only the
+        allocation this method performs inline.
+        """
+        input_t, layer_tensors = self._declare_tensors()
+        with obs.span(f"allocate:{self.model.name}", cat="compiler",
+                      tensors=len(self._requests)):
+            allocation = self.allocator.allocate(
+                self._requests, self.config.unified_buffer_bytes
+            )
+        self.record = self._emit_record(input_t, layer_tensors)
+        return self.record.finish(allocation)
+
+    def _declare_tensors(self) -> tuple[LoweredTensor, list[LoweredTensor]]:
+        """Pass 1: declare tensors and collect allocation requests."""
         model = self.model
-        batch = model.batch_size
         n_layers = len(model.layers)
         input_last, last_use = self._last_use_steps()
-
-        # Pass 1: declare tensors and collect allocation requests.
         in_rows, in_width = self._input_tensor_shape()
         input_t = self._declare("input", in_rows, in_width, 0, input_last)
         layer_tensors: list[LoweredTensor] = []
@@ -985,15 +1191,18 @@ class Lowering:
             )
         self._declare_staging(input_t, layer_tensors[-1], n_layers)
         self._predeclare_scratch()
+        return input_t, layer_tensors
 
-        with obs.span(f"allocate:{model.name}", cat="compiler",
-                      tensors=len(self._requests)):
-            allocation = self.allocator.allocate(
-                self._requests, self.config.unified_buffer_bytes
-            )
+    def _emit_record(
+        self, input_t: LoweredTensor, layer_tensors: list[LoweredTensor]
+    ) -> EmissionRecord:
+        """Pass 2: place virtual rows and emit the instruction stream."""
+        model = self.model
+        batch = model.batch_size
         # Virtual row numbering: a bump cursor in declaration order keeps
         # every tensor's addressing span disjoint; byte placement (and the
-        # Table 8 footprint) comes from the allocator above.
+        # Table 8 footprint) comes from the allocator, which feeds only
+        # the program metadata -- never the instruction stream.
         cursor = 0
         for tensor in self._tensors.values():
             tensor.base_row = cursor
@@ -1061,11 +1270,7 @@ class Lowering:
         tensor_table = {
             t.name: (t.base_row, t.rows, t.width) for t in self._tensors.values()
         }
-        metadata = {
-            "model": model.name,
-            "batch_size": batch,
-            "ub_peak_bytes": allocation.peak_bytes,
-            "allocator": allocation.allocator,
+        metadata_rest = {
             "weight_traffic_bytes": self._weight_traffic_bytes(),
             "macs_per_batch": model.macs_per_batch,
             "input_layout": self._input_layout(),
@@ -1074,30 +1279,40 @@ class Lowering:
             "tensors": tensor_table,
             "deps": tuple(self._deps),
         }
-        program = TPUProgram(
+        return EmissionRecord(
             name=model.name,
+            batch_size=batch,
             instructions=tuple(self._instructions),
             tiles=self._tiles,
             scales=tuple(self._scales),
             host_buffers=host_buffers,
-            batch_size=batch,
-            metadata=metadata,
+            requests=tuple(self._requests),
+            tensors=self._tensors,
+            metadata_rest=metadata_rest,
         )
-        return LoweringResult(program=program, allocation=allocation, tensors=self._tensors)
 
     def _weight_traffic_bytes(self) -> int:
         """DRAM bytes moved by the emitted Read_Weights stream.
 
         Static trained tiles stream padded (the full 64 KiB plane);
         dynamic attention tiles (K^T/V staged per head per example) move
-        their packed bytes only.
+        their packed bytes only.  Computed as arrays: per-tile byte
+        charges times per-tile fetch counts.
         """
-        total = 0
-        for i in self._instructions:
-            if isinstance(i, ReadWeights):
-                spec = self._tiles[i.tile_id]
-                total += spec.rows * spec.cols if spec.dynamic else self.config.tile_bytes
-        return total
+        ids = [i.tile_id for i in self._instructions if type(i) is ReadWeights]
+        if not ids:
+            return 0
+        tiles = self._tiles  # keyed 0..N-1 in insertion order
+        charges = np.fromiter(
+            (
+                spec.rows * spec.cols if spec.dynamic else self.config.tile_bytes
+                for spec in tiles.values()
+            ),
+            dtype=np.int64,
+            count=len(tiles),
+        )
+        counts = np.bincount(np.asarray(ids, dtype=np.intp), minlength=len(tiles))
+        return int(counts @ charges)
 
     def _declare_staging(self, input_t: LoweredTensor, output_t: LoweredTensor, n_layers: int) -> None:
         """Reserve the driver's batch-staging region for all-FC models.

@@ -129,6 +129,39 @@ def model_key(model: "Model") -> str:
     return f"{model.name}:{_digest(spec)}"
 
 
+def config_key(config) -> str:
+    """Stable content hash of a :class:`~repro.core.config.TPUConfig`."""
+    cached = getattr(config, "_perfcache_key", None)
+    if cached is not None:
+        return cached
+    key = _digest(config)
+    try:
+        object.__setattr__(config, "_perfcache_key", key)
+    except (AttributeError, TypeError):  # slotted configs
+        pass
+    return key
+
+
+def lowering_key(
+    config, model: "Model", weight_bits: int = 8, activation_bits: int = 8
+) -> tuple[str, str, int, int, int]:
+    """Key of one timing-mode lowering's emission output.
+
+    (platform config, layer structure sans batch, batch, operand widths).
+    The allocator is deliberately *not* part of the key: instruction
+    emission addresses tensors through a virtual bump cursor in
+    declaration order, so only the allocation metadata -- recomputed on
+    every cache hit -- depends on the allocator choice.
+    """
+    return (
+        config_key(config),
+        model_key(model),
+        model.batch_size,
+        weight_bits,
+        activation_bits,
+    )
+
+
 # ----------------------------------------------------------------------
 # the cache
 # ----------------------------------------------------------------------
@@ -245,8 +278,88 @@ class PerfCache:
             )
 
 
+class LoweringCache:
+    """Process-wide memo of compiled-program *emission records*.
+
+    The compiler's pass structure splits a timing-mode lowering into an
+    allocator-independent emission (instructions, dependency tokens,
+    tiles, scales -- the expensive part) and a cheap allocation pass.
+    This cache stores the emission keyed by :func:`lowering_key`, so
+    sweep points that recompile the same workload structure -- curve
+    anchors, fresh drivers, the Table 8 static-allocator study -- replay
+    the cached emission and pay only for allocation.
+
+    Values are opaque to the cache (the compiler stores its own record
+    type); entries are immutable once stored, so cached and uncached
+    compiles share the very same instruction objects and stay
+    byte-identical by construction.  Disable with ``REPRO_PERFCACHE=0``
+    or ``REPRO_LOWERING_CACHE=0`` (or :func:`disabled`).
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        if enabled is None:
+            enabled = (
+                os.environ.get("REPRO_PERFCACHE", "1") != "0"
+                and os.environ.get("REPRO_LOWERING_CACHE", "1") != "0"
+            )
+        self.enabled = enabled
+        self._entries: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple):
+        """The cached record, or None on a miss (or when disabled)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            record = self._entries.get(key)
+            if record is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+        return record
+
+    def put(self, key: tuple, record) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries.setdefault(key, record)
+
+    def invalidate(self, workload: "Model | str | None" = None) -> int:
+        """Drop entries (all, or one workload by instance or name)."""
+        with self._lock:
+            if workload is None:
+                removed = len(self._entries)
+                self._entries.clear()
+                return removed
+            wkey = workload if isinstance(workload, str) else model_key(workload)
+            doomed = [
+                key
+                for key in self._entries
+                if key[1] == wkey or key[1].startswith(f"{wkey}:")
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, entries=len(self._entries)
+            )
+
+
 #: The process-wide cache every consumer routes through.
 GLOBAL = PerfCache()
+
+#: The process-wide emission memo the compiler driver routes through.
+GLOBAL_LOWERING = LoweringCache()
 
 
 def _collect_metrics() -> dict:
@@ -271,6 +384,20 @@ def _collect_metrics() -> dict:
 obs.register_collector("perfcache", _collect_metrics)
 
 
+def _collect_lowering_metrics() -> dict:
+    stats = GLOBAL_LOWERING.stats()
+    return {
+        "enabled": GLOBAL_LOWERING.enabled,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "entries": stats.entries,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+obs.register_collector("lowering_cache", _collect_lowering_metrics)
+
+
 def get_cache() -> PerfCache:
     return GLOBAL
 
@@ -289,10 +416,13 @@ def set_enabled(enabled: bool) -> None:
 
 @contextmanager
 def disabled():
-    """Temporarily bypass the cache (used by the parity-pin tests)."""
+    """Temporarily bypass both caches (used by the parity-pin tests)."""
     previous = GLOBAL.enabled
+    previous_lowering = GLOBAL_LOWERING.enabled
     GLOBAL.enabled = False
+    GLOBAL_LOWERING.enabled = False
     try:
         yield
     finally:
         GLOBAL.enabled = previous
+        GLOBAL_LOWERING.enabled = previous_lowering

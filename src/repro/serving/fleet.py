@@ -12,6 +12,7 @@ draining hotspots) are simulated, not approximated.
 from __future__ import annotations
 
 import heapq
+import math
 from bisect import bisect_left
 from collections import deque
 from collections.abc import Sequence
@@ -24,6 +25,7 @@ from repro.nn.graph import Model
 from repro.platforms.base import BATCH_CANDIDATES, Platform
 from repro.serving.batcher import Batcher
 from repro.serving.engine import (
+    _FAST_DEFAULT,
     BatchServer,
     EventLoop,
     LatencyCurve,
@@ -112,17 +114,26 @@ class PlatformCurve(LatencyCurve):
 
 
 class Replica:
-    """One accelerator behind its own queue and batching policy."""
+    """One accelerator behind its own queue and batching policy.
+
+    The queue holds *request indices* (positions in the simulation's
+    arrival vector); arrival times live in one shared array on the
+    simulation, which is what lets completions be written back over
+    index arrays instead of per-request objects.
+    """
 
     def __init__(self, curve: LatencyCurve, batcher: Batcher, name: str = "") -> None:
         self.name = name
         self.server = BatchServer(curve)
         self.batcher = batcher
-        self.queue: deque[Request] = deque()
+        self.queue: deque[int] = deque()
         self.admitted = 0
 
     def admit(self, request: Request) -> None:
-        self.queue.append(request)
+        self.admit_index(request.index)
+
+    def admit_index(self, index: int) -> None:
+        self.queue.append(index)
         self.admitted += 1
 
     @property
@@ -225,6 +236,7 @@ class FleetSim:
         router: Router,
         arrivals: np.ndarray,
         drain: bool = True,
+        fast: bool | None = None,
     ) -> None:
         arrivals = np.asarray(arrivals, dtype=float)
         if arrivals.size == 0:
@@ -237,6 +249,12 @@ class FleetSim:
         self.loop = EventLoop()
         self.responses = np.full(arrivals.size, np.nan)
         self.pending = arrivals.size  # arrivals not yet processed
+        #: ``REPRO_SERVING_FAST=0`` forces the per-request reference
+        #: loops (no bulk admission, scalar completion writes).
+        self.fast = _FAST_DEFAULT if fast is None else fast
+        # Arrival times as a plain list: queue heads are looked up per
+        # poll, and list indexing beats ndarray scalar extraction there.
+        self._times: list[float] = arrivals.tolist()
         # One flag decides whether the hot launch path pays for
         # observability at all; replica trace tracks are assigned lazily
         # so autoscaler-spawned replicas get tids too.
@@ -249,7 +267,7 @@ class FleetSim:
         queue = replica.queue
         if not queue or replica.server.free_at > now:
             return
-        oldest = queue[0].arrival
+        oldest = self._times[queue[0]]
         n = replica.batcher.dispatch_size(len(queue), now - oldest)
         if n == 0:
             # Compare absolute deadlines, not ages: recomputing the
@@ -271,10 +289,20 @@ class FleetSim:
     def _launch(self, replica: Replica, n: int, now: float) -> None:
         if self._observe:
             self._pre_launch(replica, n)
-        batch = [replica.queue.popleft() for _ in range(n)]
+        popleft = replica.queue.popleft
+        batch = [popleft() for _ in range(n)]
         done = replica.server.start_batch(now, n)
-        for request in batch:
-            self.responses[request.index] = done - request.arrival
+        if self.fast and n >= 32:
+            # Completion scheduling over arrays: one float64 subtraction
+            # per batch.  Bit-identical to the scalar loop -- IEEE
+            # arithmetic is elementwise either way.
+            idx = np.asarray(batch, dtype=np.intp)
+            self.responses[idx] = done - self.arrivals[idx]
+        else:
+            responses = self.responses
+            times = self._times
+            for index in batch:
+                responses[index] = done - times[index]
         if self._observe:
             self._post_launch(replica, batch, now, done)
 
@@ -288,29 +316,31 @@ class FleetSim:
             obs.histogram("serving.queue_depth_at_launch").observe(len(replica.queue))
 
     def _post_launch(
-        self, replica: Replica, batch: list[Request], now: float, done: float
+        self, replica: Replica, batch: list[int], now: float, done: float
     ) -> None:
         """Per-request lifecycle spans and queue-wait metrics (cold path)."""
+        times = self._times
         if obs.TRACER.enabled:
             tid = replica.server.trace_tid
-            for request in batch:
+            for index in batch:
+                arrival = times[index]
                 obs.TRACER.sim_span(
                     "request",
-                    request.arrival,
-                    done - request.arrival,
+                    arrival,
+                    done - arrival,
                     cat="serving",
                     tid=tid,
                     pid=obs.REQ_PID,
-                    wait_ms=(now - request.arrival) * 1e3,
+                    wait_ms=(now - arrival) * 1e3,
                     batch=len(batch),
                 )
         if obs.REGISTRY.enabled:
-            obs.histogram("serving.queue_wait_s").observe(now - batch[0].arrival)
+            obs.histogram("serving.queue_wait_s").observe(now - times[batch[0]])
 
-    def _on_arrival(self, request: Request) -> None:
+    def _on_arrival(self, index: int) -> None:
         self.pending -= 1
         replica = self.router.pick(self.eligible, self.loop.now)
-        replica.admit(request)
+        replica.admit_index(index)
         self.poll(replica)
         if self.pending == 0:
             # End of trace: drain idle replicas with partial queues
@@ -350,21 +380,24 @@ class FleetSim:
         arrivals = self.arrivals
         if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
             # Unsorted trace: the heap is the sort.
-            for index, when in enumerate(arrivals):
-                request = Request(index=index, arrival=float(when))
-                loop.schedule(float(when), lambda _t, r=request: self._on_arrival(r))
+            for index, when in enumerate(self._times):
+                loop.schedule(when, lambda _t, i=index: self._on_arrival(i))
             loop.run()
             return
         heap = loop._heap
         pre_seq = loop._seq  # events below this watermark win time ties
         pop = heapq.heappop
         on_arrival = self._on_arrival
-        times = arrivals.tolist()
+        # Bulk admission replays only the in-tree routers exactly; a
+        # custom Router subclass keeps the per-arrival reference path.
+        bulk = self.fast and type(self.router) in (RoundRobinRouter, ShortestQueueRouter)
+        times = self._times
         n = len(times)
         i = 0
         while True:
             if i < n:
                 when = times[i]
+                top_when = math.inf
                 if heap:
                     top = heap[0]
                     top_when = top[0]
@@ -373,8 +406,13 @@ class FleetSim:
                         loop.now = top_when
                         top[2](top_when)
                         continue
+                if bulk:
+                    j = self._bulk_admit(i, top_when)
+                    if j > i:
+                        i = j
+                        continue
                 loop.now = when
-                on_arrival(Request(index=i, arrival=when))
+                on_arrival(i)
                 i += 1
             elif heap:
                 when, _, callback = pop(heap)
@@ -382,6 +420,82 @@ class FleetSim:
                 callback(when)
             else:
                 break
+
+    #: Minimum run length before bulk admission beats the scalar path.
+    _BULK_MIN = 8
+
+    def _bulk_admit(self, i: int, top_when: float) -> int:
+        """Admit a run of queued-behind-busy arrivals in one step.
+
+        While every routing-eligible replica is busy, ``poll`` returns
+        immediately, so admitting an arrival is a pure queue append plus
+        router bookkeeping -- no event can fire and no batch can launch
+        before ``min(free_at)`` or the next heap event.  Arrivals
+        strictly before both bounds are therefore assigned *en masse*,
+        replaying the router's sequential decisions exactly (see the
+        per-router blocks).  Returns the first unconsumed index
+        (``== i`` when the window is too small to bother).
+        """
+        eligible = self.eligible
+        if not eligible:
+            return i
+        bound = min(r.server.free_at for r in eligible)
+        if top_when < bound:
+            bound = top_when
+        times = self._times
+        if times[i] >= bound:
+            return i
+        # The final arrival always takes the reference path: its
+        # ``_on_arrival`` triggers the end-of-trace drain polls.
+        j = min(bisect_left(times, bound, i, len(times)), len(times) - 1)
+        m = j - i
+        if m < self._BULK_MIN:
+            return i
+        if type(self.router) is RoundRobinRouter:
+            # Sequential round-robin == strided slices of the window.
+            base = self.router._next
+            count = len(eligible)
+            for offset in range(min(count, m)):
+                replica = eligible[(base + offset) % count]
+                indices = range(i + offset, j, count)
+                replica.queue.extend(indices)
+                replica.admitted += len(indices)
+            self.router._next = base + m
+        else:
+            self._bulk_admit_jsq(i, j, eligible)
+        self.pending -= m
+        self.loop.now = times[j - 1]
+        return j
+
+    @staticmethod
+    def _bulk_admit_jsq(i: int, j: int, eligible: list[Replica]) -> None:
+        """Vectorized join-shortest-queue water-fill over one window.
+
+        With every eligible replica busy, the sequential JSQ scan picks
+        the first replica with the minimum queue length -- so arrival k
+        of the window lands on the k-th pair of the lexicographic
+        (queue-level, scan-index) enumeration with level >= the
+        replica's starting backlog.  ``np.nonzero`` on the level x
+        replica openness mask yields exactly that enumeration.
+        """
+        m = j - i
+        depths = np.array([len(r.queue) for r in eligible])
+        count = len(eligible)
+        top = int(depths.max()) + -(-m // count)  # fill levels can't exceed this
+        levels = np.arange(int(depths.min()), top)
+        open_slots = depths[None, :] <= levels[:, None]
+        _, replica_ids = np.nonzero(open_slots)  # row-major == lexicographic
+        replica_ids = replica_ids[:m]
+        order = np.argsort(replica_ids, kind="stable")  # group, keep arrival order
+        assigned = (np.arange(i, j)[order]).tolist()
+        counts = np.bincount(replica_ids, minlength=count)
+        pos = 0
+        for r, c in enumerate(counts.tolist()):
+            if c:
+                replica = eligible[r]
+                replica.queue.extend(assigned[pos : pos + c])
+                replica.admitted += c
+                pos += c
 
     def run(self) -> FleetResult:
         self._run_events()

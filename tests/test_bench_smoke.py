@@ -38,11 +38,31 @@ def test_expected_scenarios_present(payload):
     names = [bench["name"] for bench in payload["benches"]]
     assert names == [
         "report_jobs2_quick",
+        "compile_cold",
+        "compile_warm",
         "provisioning_search",
         "provisioning_research",
         "serving_sweep",
         "serving_sweep_repeat",
+        "serving_inner_loop",
     ]
+
+
+def test_warm_compile_beats_cold(payload):
+    """The emission memo must make recompiles cheaper than cold lowers."""
+    by_name = {bench["name"]: bench for bench in payload["benches"]}
+    assert by_name["compile_warm"]["wall_seconds"] < by_name["compile_cold"]["wall_seconds"]
+
+
+def test_latest_bench_name(tmp_path):
+    """Name discovery: highest N wins; empty dirs fall back to BENCH_0."""
+    assert benchmark.latest_bench_name(str(tmp_path)) == "BENCH_0.json"
+    for n in (3, 11, 7):
+        (tmp_path / f"BENCH_{n}.json").write_text("{}")
+    (tmp_path / "BENCH_x.json").write_text("{}")  # non-numeric: ignored
+    assert benchmark.latest_bench_name(str(tmp_path)) == "BENCH_11.json"
+    # The repo-root default reflects the committed trajectory.
+    assert benchmark.latest_bench_name().startswith("BENCH_")
 
 
 def test_repeated_sweep_hits_the_cache(payload):

@@ -6,7 +6,7 @@ import logging
 
 import pytest
 
-from repro import obs
+from repro import obs, perfcache
 from repro.analysis import EXPERIMENTS
 from repro.compiler.driver import TPUDriver
 from repro.nn.workloads import paper_workloads
@@ -41,8 +41,11 @@ def _small_fleet_run():
 
 def _traced_all_layers():
     """Compile + profile a fresh model and run a fleet inside capture()."""
+    # Fresh driver + cold emission memo: the compile cannot cache-hit,
+    # so the trace contains real pass:/allocate: spans.
+    perfcache.GLOBAL_LOWERING.invalidate("mlp0")
     with obs.capture() as tracer:
-        driver = TPUDriver()  # fresh driver: the compile cannot cache-hit
+        driver = TPUDriver()
         compiled = driver.compile(paper_workloads()["mlp0"])
         driver.profile(compiled)
         _small_fleet_run()

@@ -24,6 +24,8 @@ import pytest
 from repro import perfcache
 from repro.analysis import EXPERIMENTS
 from repro.compiler.driver import TPUDriver
+from repro.compiler.lowering import Lowering
+from repro.core.config import TPU_V1
 from repro.core.device import TPUDevice
 from repro.nn.workloads import paper_workloads
 
@@ -102,3 +104,18 @@ def test_vectorized_device_path_bit_identical(name):
     assert {k: type(v) for k, v in fast.counters.items()} == {
         k: type(v) for k, v in reference.counters.items()
     }
+
+
+@pytest.mark.parametrize("name", list(PROGRAM_SHA256))
+def test_fast_lowering_bit_identical(name):
+    """The array-emission compiler fast path must match the reference
+    per-tile loop: same instruction stream, same dependency tokens, same
+    metadata -- byte for byte, in the same key order.  (The pinned
+    program hashes above run through the fast path by default; this
+    localizes any future divergence to the emission pass.)"""
+    model = paper_workloads()[name]
+    fast = Lowering(model, TPU_V1, fast=True).lower()
+    reference = Lowering(model, TPU_V1, fast=False).lower()
+    assert fast.program.binary() == reference.program.binary()
+    assert fast.program.metadata == reference.program.metadata
+    assert list(fast.program.metadata) == list(reference.program.metadata)

@@ -11,12 +11,19 @@ cache on and off.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 from dataclasses import replace
 
 import numpy as np
 import pytest
 
 from repro import perfcache
+from repro.compiler.allocator import StaticPartitionAllocator
+from repro.compiler.driver import TPUDriver
+from repro.compiler.lowering import Lowering
+from repro.core.config import TPU_V1, TPUConfig
 from repro.datacenter.autoscaler import (
     AutoscaleConfig,
     AutoscaledFleet,
@@ -245,3 +252,114 @@ def test_numpy_batch_types_key_identically(mlp0):
     cache.warm(platform, mlp0, np.array([16, 24]))
     stats = cache.stats()
     assert stats.hits == 1 and stats.entries == 2
+
+
+# ----------------------------------------------------------------------
+# the lowering (emission) cache
+# ----------------------------------------------------------------------
+class TestLoweringCache:
+    """The emission memo: allocator-independent keys, hit/miss
+    bookkeeping, and byte-identity of replayed compiles."""
+
+    def test_key_stable_across_instances(self, mlp0):
+        assert perfcache.lowering_key(TPU_V1, mlp0) == perfcache.lowering_key(
+            TPUConfig(), build_workload("mlp0")
+        )
+
+    def test_key_distinguishes_batch_and_precision(self, mlp0):
+        base = perfcache.lowering_key(TPU_V1, mlp0)
+        assert perfcache.lowering_key(TPU_V1, replace(mlp0, batch_size=7)) != base
+        assert perfcache.lowering_key(TPU_V1, mlp0, weight_bits=16) != base
+
+    def test_key_stable_across_processes(self, mlp0):
+        """Keys are sha256-based, so fresh interpreters (report --jobs
+        workers, CI shards) agree with this process byte for byte."""
+        script = (
+            "from repro import perfcache\n"
+            "from repro.core.config import TPU_V1\n"
+            "from repro.nn.workloads import build_workload\n"
+            "import sys\n"
+            "sys.stdout.write(repr(perfcache.lowering_key(TPU_V1, build_workload('mlp0'))))\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(perfcache.__file__)))
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": src_dir},
+        ).stdout
+        assert out == repr(perfcache.lowering_key(TPU_V1, mlp0))
+
+    def test_hit_miss_accounting(self, mlp0):
+        cache = perfcache.LoweringCache(enabled=True)
+        key = perfcache.lowering_key(TPU_V1, mlp0)
+        assert cache.get(key) is None
+        lowering = Lowering(mlp0, TPU_V1)
+        lowering.lower()
+        cache.put(key, lowering.record)
+        assert cache.get(key) is lowering.record
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        cache.reset_counters()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries) == (0, 0, 1)
+
+    def test_disabled_cache_stores_and_counts_nothing(self, mlp0):
+        cache = perfcache.LoweringCache(enabled=False)
+        key = perfcache.lowering_key(TPU_V1, mlp0)
+        cache.put(key, object())
+        assert cache.get(key) is None
+        stats = cache.stats()
+        assert (stats.lookups, stats.entries) == (0, 0)
+
+    def test_invalidate_by_workload(self, mlp0):
+        cache = perfcache.LoweringCache(enabled=True)
+        cache.put(perfcache.lowering_key(TPU_V1, mlp0), object())
+        cache.put(perfcache.lowering_key(TPU_V1, build_workload("lstm0")), object())
+        assert cache.invalidate("mlp0") == 1
+        assert cache.stats().entries == 1
+        assert cache.invalidate() == 1
+        assert cache.stats().entries == 0
+
+    def test_fresh_drivers_share_the_global_cache(self, mlp0):
+        """Two fresh drivers compile once between them -- and the hit
+        replays the exact bytes (program and metadata) of the miss."""
+        perfcache.GLOBAL_LOWERING.invalidate("mlp0")
+        perfcache.GLOBAL_LOWERING.reset_counters()
+        a = TPUDriver().compile(mlp0)
+        b = TPUDriver().compile(build_workload("mlp0"))
+        stats = perfcache.GLOBAL_LOWERING.stats()
+        assert stats.misses >= 1 and stats.hits >= 1
+        assert a.program.binary() == b.program.binary()
+        assert a.program.metadata == b.program.metadata
+
+    def test_static_allocator_driver_hits_default_entries(self, mlp0):
+        """The key omits the allocator, so the Table 8 study's static
+        partition driver replays emissions the default driver cached --
+        while still computing its own allocation metadata."""
+        perfcache.GLOBAL_LOWERING.invalidate("mlp0")
+        default = TPUDriver().compile(mlp0)
+        perfcache.GLOBAL_LOWERING.reset_counters()
+        static = TPUDriver(allocator=StaticPartitionAllocator()).compile(
+            build_workload("mlp0")
+        )
+        assert perfcache.GLOBAL_LOWERING.stats().hits == 1
+        assert static.program.binary() == default.program.binary()
+        assert static.program.metadata["allocator"] != default.program.metadata["allocator"]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["mlp0", "mlp1", "lstm0", "lstm1", "cnn0", "cnn1", "bert_s", "bert_l", "gpt_s"],
+)
+def test_lowering_cache_replay_byte_identical(name):
+    """A cache-hit materialize() must reproduce the uncached compile
+    byte for byte: program binary and metadata, including key order."""
+    model = build_workload(name)
+    first = Lowering(model, TPU_V1)
+    uncached = first.lower()
+    replay = first.record.materialize(None, TPU_V1)
+    assert replay.program.binary() == uncached.program.binary()
+    assert replay.program.metadata == uncached.program.metadata
+    assert list(replay.program.metadata) == list(uncached.program.metadata)

@@ -10,8 +10,8 @@ from repro.serving.batcher import (
     TimeoutBatcher,
     make_batcher,
 )
-from repro.serving.engine import ConstantCurve, EventLoop, summarize
-from repro.serving.fleet import Fleet, PlatformCurve, Replica, make_router
+from repro.serving.engine import ConstantCurve, EventLoop, run_closed_loop, summarize
+from repro.serving.fleet import Fleet, FleetSim, PlatformCurve, Replica, make_router
 from repro.serving.sweep import (
     FleetSpec,
     max_throughput_under_slo,
@@ -310,6 +310,56 @@ class TestTraffic:
         path.write_text("# comment\n0.0\n0.5\n\n1.5  # inline\n")
         times = load_trace(str(path))
         assert times.tolist() == [0.0, 0.5, 1.5]
+
+
+class TestVectorizedServingParity:
+    """The REPRO_SERVING_FAST paths must be bit-identical to the
+    reference per-request loops: same responses, same per-replica
+    accounting, same busy timeline.  Overloaded traffic exercises the
+    bulk-admission window; the trailing drain exercises partial
+    batches."""
+
+    def _replicas(self, n=3):
+        curve = ConstantCurve(occupancy_seconds=1e-3, latency_seconds=1.5e-3)
+        return [Replica(curve, TimeoutBatcher(8, 5e-4), name=f"r{i}") for i in range(n)]
+
+    @pytest.mark.parametrize("router", ["round_robin", "jsq"])
+    @pytest.mark.parametrize("traffic", ["poisson", "diurnal"])
+    def test_fleet_fast_matches_reference(self, router, traffic):
+        if traffic == "poisson":
+            arrivals = poisson_arrivals(rate=4000.0, n_requests=3000, seed=3)
+        else:
+            arrivals = diurnal_arrivals(
+                mean_rate=4000.0, swing=0.6, period_seconds=0.25,
+                n_requests=3000, seed=3,
+            )
+        runs = {}
+        for fast in (True, False):
+            sim = FleetSim(self._replicas(), make_router(router), arrivals, fast=fast)
+            runs[fast] = sim.run()
+        assert np.array_equal(runs[True].responses, runs[False].responses)
+        assert runs[True].served_per_replica == runs[False].served_per_replica
+        assert runs[True].batches_per_replica == runs[False].batches_per_replica
+        assert runs[True].busy_intervals == runs[False].busy_intervals
+
+    def test_fleet_fast_matches_reference_under_light_load(self):
+        """Below saturation bulk admission must stand down, not misfire."""
+        arrivals = poisson_arrivals(rate=500.0, n_requests=1000, seed=9)
+        runs = {
+            fast: FleetSim(
+                self._replicas(), make_router("jsq"), arrivals, fast=fast
+            ).run()
+            for fast in (True, False)
+        }
+        assert np.array_equal(runs[True].responses, runs[False].responses)
+        assert runs[True].busy_intervals == runs[False].busy_intervals
+
+    def test_closed_loop_fast_matches_reference(self):
+        curve = ConstantCurve(occupancy_seconds=1e-3, latency_seconds=2e-3)
+        fast, fast_server = run_closed_loop(64, 16, curve, n_batches=50, fast=True)
+        ref, ref_server = run_closed_loop(64, 16, curve, n_batches=50, fast=False)
+        assert np.array_equal(fast, ref)
+        assert fast_server.busy_intervals == ref_server.busy_intervals
 
 
 class TestSummarize:
