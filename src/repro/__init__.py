@@ -24,15 +24,20 @@ microarchitecture, :mod:`repro.compiler` the user-space driver,
 Haswell/K80 comparison points, :mod:`repro.perfmodel` the Section 7
 design-space model, :mod:`repro.serving` the event-driven datacenter
 serving simulator (fleets of replicas under a p99 SLO, Table 4 at
-scale), :mod:`repro.api` the declarative scenario layer (serializable
-specs + the ``repro.run`` facade), and :mod:`repro.analysis` regenerates
-every table and figure of the evaluation.
+scale), :mod:`repro.globe` the planet-scale multi-region layer (global
+routing over a hybrid queueing/event backend), :mod:`repro.api` the
+declarative scenario layer (serializable specs + the ``repro.run``
+facade), and :mod:`repro.analysis` regenerates every table and figure
+of the evaluation.
 """
 
 from repro.api import (
+    ClusterSpec,
     DatacenterScenario,
     Experiment,
+    GlobalScenario,
     ProfileScenario,
+    RegionSpec,
     ScenarioResult,
     ScenarioSpec,
     ServeScenario,
@@ -48,10 +53,13 @@ from repro.nn import build_workload, paper_workloads
 __version__ = "1.1.0"
 
 __all__ = [
+    "ClusterSpec",
     "DatacenterScenario",
     "Experiment",
+    "GlobalScenario",
     "LivenessAllocator",
     "ProfileScenario",
+    "RegionSpec",
     "ScenarioResult",
     "ScenarioSpec",
     "ServeScenario",

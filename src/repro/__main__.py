@@ -23,6 +23,10 @@ Commands:
 * ``datacenter``        -- energy-aware capacity planning: provision the
   cheapest SLO-feasible fleet per platform under diurnal traffic, price
   it (Watts, joules/request, $/Mreq), and race autoscaling policies;
+* ``globe``             -- planet-scale multi-region serving: route each
+  region's phase-offset diurnal demand across the world's clusters and
+  price it with the hybrid queueing/event backend (millions of requests
+  in seconds; ``--backend exact`` event-simulates small traces);
 * ``bench``             -- time the hot analysis paths (report fan-out,
   provisioning search, serving sweep) and write a ``BENCH_*.json``
   trajectory point (``--quick`` for CI-sized scenarios);
@@ -32,7 +36,7 @@ Commands:
 * ``list``              -- list workloads, experiment ids, and scenario
   kinds (``--json`` for the introspectable registry).
 
-``profile``/``report``/``serve``/``datacenter`` additionally take
+``profile``/``report``/``serve``/``datacenter``/``globe`` additionally take
 ``--trace-out TRACE.json`` (Chrome trace export), ``--trace-jsonl``
 (one span object per line), and ``--profile`` (span-time summary table
 on stderr); ``REPRO_TRACE_OUT=trace.json`` in the environment does the
@@ -262,6 +266,49 @@ def _cmd_datacenter(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_globe(args: argparse.Namespace) -> int:
+    from repro.api import GlobalScenario, SpecError, run
+
+    try:
+        if args.config:
+            scenario = _load_config(args.config, "globe", ("globe",))
+        else:
+            import dataclasses
+
+            from repro.api.spec import DEFAULT_REGIONS
+
+            regions = DEFAULT_REGIONS
+            if args.rate is not None:
+                regions = tuple(
+                    dataclasses.replace(r, rate_rps=args.rate)
+                    for r in DEFAULT_REGIONS
+                )
+            scenario = GlobalScenario(
+                workload=args.workload,
+                slo_ms=args.slo_ms,
+                policy=args.policy,
+                batch=args.batch,
+                timeout_ms=args.timeout_ms,
+                router=args.router,
+                routing=args.routing,
+                regions=regions,
+                period_s=args.period_s,
+                duration_s=args.duration_s,
+                bins=args.bins,
+                backend=args.backend,
+                spill_threshold=args.spill_threshold,
+                default_rtt_ms=args.default_rtt_ms,
+                event_requests=args.event_requests,
+                seed=args.seed,
+            )
+        result = run(scenario)
+    except (SpecError, ValueError, OSError) as exc:
+        print(f"globe: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
 def _add_scenario_io(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", default=None, metavar="SCENARIO.json",
                         help="load the scenario from a JSON config file "
@@ -428,6 +475,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_io(datacenter)
     _add_obs_flags(datacenter)
     datacenter.set_defaults(fn=_cmd_datacenter)
+
+    globe = sub.add_parser(
+        "globe",
+        help="planet-scale multi-region serving on the hybrid "
+        "queueing/event backend",
+        description="Simulate a multi-region fleet: phase-offset diurnal "
+        "demand per region, a global routing policy (latency, cost, or "
+        "spillover-on-saturation), and a hybrid backend that prices each "
+        "(cluster, time-bin) cell with closed-form queueing, the exact "
+        "event engine, or a fluid backlog depending on its distance from "
+        "the SLO knee.  The default world is three regions a third of a "
+        "cycle apart; region/cluster trees beyond the defaults come from "
+        "--config.",
+    )
+    globe.add_argument("--workload", default="mlp0",
+                       help="any workload from `repro list` (default mlp0)")
+    globe.add_argument("--slo-ms", type=float, default=7.0,
+                       help="p99 response-time limit in ms (paper: 7)")
+    globe.add_argument("--policy", default="adaptive",
+                       choices=("adaptive", "fixed", "timeout"),
+                       help="cluster batching policy (default: SLO-adaptive)")
+    globe.add_argument("--batch", type=int, default=None,
+                       help="batch size for fixed/timeout policies")
+    globe.add_argument("--timeout-ms", type=float, default=None,
+                       help="batch collection timeout for the timeout policy")
+    globe.add_argument("--router", default="round_robin",
+                       choices=("round_robin", "jsq"))
+    globe.add_argument("--routing", default="latency",
+                       choices=("latency", "cost", "spillover"),
+                       help="global routing policy (default latency)")
+    globe.add_argument("--rate", type=float, default=None,
+                       help="override every default region's mean req/s "
+                            "(default world: 3 x 120000)")
+    globe.add_argument("--period-s", type=float, default=120.0,
+                       help="diurnal period in seconds (default 120)")
+    globe.add_argument("--duration-s", type=float, default=120.0,
+                       help="simulated horizon in seconds (default 120)")
+    globe.add_argument("--bins", type=int, default=24,
+                       help="time bins over the horizon (default 24)")
+    globe.add_argument("--backend", default="hybrid",
+                       choices=("hybrid", "exact"),
+                       help="hybrid prices rates; exact event-simulates "
+                            "every request (small traces only)")
+    globe.add_argument("--spill-threshold", type=float, default=0.9,
+                       help="fill clusters to this utilization before "
+                            "spilling demand (default 0.9)")
+    globe.add_argument("--default-rtt-ms", type=float, default=80.0,
+                       help="inter-region round trip in ms (default 80)")
+    globe.add_argument("--event-requests", type=int, default=4000,
+                       help="trace length of each memoized event-regime "
+                            "sample (default 4000)")
+    globe.add_argument("--seed", type=int, default=0)
+    _add_scenario_io(globe)
+    _add_obs_flags(globe)
+    globe.set_defaults(fn=_cmd_globe)
 
     trace = sub.add_parser(
         "trace",

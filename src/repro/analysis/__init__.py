@@ -34,6 +34,7 @@ from repro.analysis import (  # noqa: E402  (registry population)
     extras,
     serving,
     datacenter,
+    globe,
     transformer,
 )
 
@@ -73,6 +74,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             "Energy-aware capacity planning, autoscaling, and TCO",
             datacenter.run,
             scenario=datacenter.DEFAULT_SCENARIO,
+        ),
+        Experiment(
+            "global_serving",
+            "Planet-scale serving: global routing on the hybrid backend",
+            globe.run,
+            scenario=globe.DEFAULT_SCENARIO,
+            honors=globe.HONORED_FIELDS,
         ),
         Experiment(
             "transformer_roofline",

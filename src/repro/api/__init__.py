@@ -3,8 +3,9 @@
 One vocabulary powers every entry point:
 
 * :mod:`repro.api.spec`   -- frozen, JSON-round-trippable scenario
-  dataclasses (`ProfileScenario`, `ServeScenario`, `DatacenterScenario`)
-  plus `SweepSpec` for cross-product parameter studies;
+  dataclasses (`ProfileScenario`, `ServeScenario`, `DatacenterScenario`,
+  `GlobalScenario`) plus `SweepSpec` for cross-product parameter
+  studies;
 * :mod:`repro.api.runner` -- ``run(scenario) -> ScenarioResult``, the
   single facade the CLI, experiments, and sweeps execute through;
 * :mod:`repro.api.result` -- typed rows + metadata + ``render()``;
@@ -23,8 +24,11 @@ from repro.api.experiment import Experiment
 from repro.api.result import ScenarioResult, jsonable
 from repro.api.runner import run
 from repro.api.spec import (
+    ClusterSpec,
     DatacenterScenario,
+    GlobalScenario,
     ProfileScenario,
+    RegionSpec,
     ScenarioSpec,
     ServeScenario,
     SpecError,
@@ -33,9 +37,12 @@ from repro.api.spec import (
 )
 
 __all__ = [
+    "ClusterSpec",
     "DatacenterScenario",
     "Experiment",
+    "GlobalScenario",
     "ProfileScenario",
+    "RegionSpec",
     "ScenarioResult",
     "ScenarioSpec",
     "ServeScenario",

@@ -14,6 +14,7 @@ from typing import Any
 from repro.api.result import ScenarioResult
 from repro.api.spec import (
     DatacenterScenario,
+    GlobalScenario,
     ProfileScenario,
     ScenarioSpec,
     ServeScenario,
@@ -35,11 +36,14 @@ def run(scenario: ScenarioSpec) -> ScenarioResult:
         return _run_serve(scenario)
     if isinstance(scenario, DatacenterScenario):
         return _run_datacenter(scenario)
+    if isinstance(scenario, GlobalScenario):
+        return _run_globe(scenario)
     if isinstance(scenario, SweepSpec):
         return _run_sweep(scenario)
     raise SpecError(
         f"cannot run {type(scenario).__name__}: expected one of "
-        "ProfileScenario, ServeScenario, DatacenterScenario, SweepSpec"
+        "ProfileScenario, ServeScenario, DatacenterScenario, "
+        "GlobalScenario, SweepSpec"
     )
 
 
@@ -279,6 +283,65 @@ def _run_datacenter(scenario: DatacenterScenario) -> ScenarioResult:
         },
         text=text,
         summary=study_summary(result),
+    )
+
+
+def _run_globe(scenario: GlobalScenario) -> ScenarioResult:
+    from repro.globe import simulate_global
+    from repro.util.tables import TextTable
+
+    result = simulate_global(scenario)
+    table = TextTable(
+        ["cluster", "region", "mean req/s", "peak rho", "p50 ms", "p99 ms",
+         "backends"],
+        title=(
+            f"{len(scenario.regions)} regions, "
+            f"{len(result.cluster_rows)} clusters, "
+            f"{result.total_requests:,.0f} requests over "
+            f"{result.duration_s:g} s ({result.backend} backend, "
+            f"{result.routing} routing)"
+        ),
+    )
+    for row in result.cluster_rows:
+        table.add_row([
+            row["cluster"], row["region"], row["mean_rps"], row["peak_rho"],
+            row["p50_seconds"] * 1e3, row["p99_seconds"] * 1e3,
+            row["backends"],
+        ])
+    summary = (
+        f"global p99 {result.p99_seconds * 1e3:.2f} ms "
+        f"(p50 {result.p50_seconds * 1e3:.2f} ms) at "
+        f"{result.throughput_rps:,.0f} req/s; "
+        f"{result.spill_fraction:.1%} served out of region, "
+        f"cost {result.cost_per_request:.2f}/req"
+    )
+    rows: list[dict[str, Any]] = [{
+        "section": "global",
+        "backend": result.backend,
+        "routing": result.routing,
+        "total_requests": result.total_requests,
+        "throughput_rps": result.throughput_rps,
+        "p50_seconds": result.p50_seconds,
+        "p99_seconds": result.p99_seconds,
+        "mean_seconds": result.mean_seconds,
+        "spill_fraction": result.spill_fraction,
+        "cost_per_request": result.cost_per_request,
+        "backend_cells": dict(result.backend_cells),
+    }]
+    rows += [{"section": "cluster", **row} for row in result.cluster_rows]
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=(
+            f"globe {scenario.workload} ({scenario.routing} routing, "
+            f"{scenario.backend} backend)"
+        ),
+        rows=rows,
+        metadata={
+            "scenario": scenario.to_dict(),
+            "backend_cells": dict(result.backend_cells),
+        },
+        text=table.render(),
+        summary=summary,
     )
 
 

@@ -166,6 +166,11 @@ def _plain(value: Any) -> Any:
     """Fields -> JSON-native values (tuples become lists, specs dicts)."""
     if isinstance(value, ScenarioSpec):
         return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
     if isinstance(value, (tuple, list)):
         return [_plain(v) for v in value]
     return value
@@ -306,6 +311,203 @@ class DatacenterScenario(ScenarioSpec):
                  f"pue must be >= 1.0 (power usage effectiveness), "
                  f"got {self.pue!r}")
         _check_positive("capex_per_watt", self.capex_per_watt)
+
+
+def _nested_from_dict(cls: type, label: str, data: Any) -> Any:
+    """Coerce a nested plain dict (or pass through an instance) to ``cls``."""
+    if isinstance(data, cls):
+        return data
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{label} must be a JSON object, got {data!r}")
+    payload = dict(data)
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - names)
+    _require(not unknown,
+             f"unknown field(s) {', '.join(unknown)} for {label}; "
+             f"valid fields: {', '.join(sorted(names))}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise SpecError(f"invalid {label}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One serving fleet inside a region of a :class:`GlobalScenario`."""
+
+    name: str
+    platform: str = "tpu"
+    replicas: int = 1
+    #: Routing cost weight: the ``cost`` policy fills cheap clusters first.
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 f"cluster name must be a non-empty string, got {self.name!r}")
+        _check_choice("cluster platform", self.platform, PLATFORM_KINDS)
+        _check_positive("cluster replicas", self.replicas, integer=True)
+        _check_positive("cluster cost", self.cost)
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One geographic demand source (with its clusters) of a global run."""
+
+    name: str
+    rate_rps: float = 50000.0
+    swing: float = 0.6
+    #: Diurnal cycle offset as a fraction of the period (follow-the-sun).
+    phase: float = 0.0
+    clusters: tuple[ClusterSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.name, str) and bool(self.name),
+                 f"region name must be a non-empty string, got {self.name!r}")
+        _check_positive(f"region {self.name!r} rate_rps", self.rate_rps)
+        _require(isinstance(self.swing, (int, float)) and 0 <= self.swing < 1,
+                 f"region {self.name!r} swing must be in [0, 1), "
+                 f"got {self.swing!r}")
+        _require(isinstance(self.phase, (int, float)),
+                 f"region {self.name!r} phase must be a number, "
+                 f"got {self.phase!r}")
+        _require(isinstance(self.clusters, (tuple, list)),
+                 f"region {self.name!r} clusters must be a list, "
+                 f"got {self.clusters!r}")
+        object.__setattr__(self, "clusters", tuple(
+            _nested_from_dict(ClusterSpec, f"cluster of region {self.name!r}", c)
+            for c in self.clusters
+        ))
+
+
+#: Three regions a third of a cycle apart, one TPU cluster each: the
+#: canonical follow-the-sun world (peaks roll, capacity is shared).
+#: Cluster costs differ so the ``cost`` routing policy has a real
+#: trade to make (cheap asia capacity vs local RTT-free serving).
+DEFAULT_REGIONS: tuple[RegionSpec, ...] = (
+    RegionSpec(name="americas", rate_rps=120000.0, phase=0.0,
+               clusters=(ClusterSpec(name="us-tpu", cost=1.0),)),
+    RegionSpec(name="europe", rate_rps=120000.0, phase=1.0 / 3.0,
+               clusters=(ClusterSpec(name="eu-tpu", cost=1.2),)),
+    RegionSpec(name="asia", rate_rps=120000.0, phase=2.0 / 3.0,
+               clusters=(ClusterSpec(name="ap-tpu", cost=0.7),)),
+)
+
+GLOBE_BACKENDS = ("exact", "hybrid")
+
+#: The exact backend materializes every arrival: refuse worlds whose
+#: expected request count would take minutes to event-simulate.
+_EXACT_MAX_REQUESTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class GlobalScenario(ScenarioSpec):
+    """Planet-scale serving: regions, routing, and the hybrid backend."""
+
+    kind: ClassVar[str] = "globe"
+
+    workload: str = "mlp0"
+    slo_ms: float = 7.0
+    policy: str = "adaptive"
+    batch: int | None = None
+    timeout_ms: float | None = None
+    router: str = "round_robin"
+    #: Global routing policy: latency / cost / spillover.
+    routing: str = "latency"
+    regions: tuple[RegionSpec, ...] = DEFAULT_REGIONS
+    period_s: float = 120.0
+    duration_s: float = 120.0
+    bins: int = 24
+    #: ``hybrid`` prices rates; ``exact`` event-simulates every request.
+    backend: str = "hybrid"
+    #: (knee_lo, knee_hi) utilization bounds of the hybrid's event band.
+    knee: tuple[float, float] = (0.35, 1.0)
+    spill_threshold: float = 0.9
+    default_rtt_ms: float = 80.0
+    #: Symmetric overrides: (region_a, region_b, rtt_ms) triples.
+    rtt_ms: tuple[tuple[str, str, float], ...] = ()
+    #: Trace length of each memoized event-regime sample.
+    event_requests: int = 4000
+    seed: int = 0
+
+    @property
+    def slo_seconds(self) -> float:
+        return self.slo_ms * 1e-3
+
+    def validate(self) -> None:
+        if isinstance(self.workload, str):
+            _set(self, "workload", self.workload.lower())
+        _check_workload(self.workload)
+        _check_positive("slo_ms", self.slo_ms)
+        _check_choice("policy", self.policy, BATCH_POLICIES)
+        _check_optional_positive("batch", self.batch, integer=True)
+        _check_optional_positive("timeout_ms", self.timeout_ms)
+        _check_choice("router", self.router, ROUTERS)
+        # Lazy, like the workload registry: spec import stays light.
+        from repro.globe.routing import ROUTING_POLICIES
+
+        _check_choice("routing", self.routing, tuple(sorted(ROUTING_POLICIES)))
+        _require(isinstance(self.regions, (tuple, list)) and len(self.regions) > 0,
+                 f"regions must be a non-empty list, got {self.regions!r}")
+        _set(self, "regions", tuple(
+            _nested_from_dict(RegionSpec, "region", r) for r in self.regions
+        ))
+        names = [r.name for r in self.regions]
+        _require(len(set(names)) == len(names),
+                 f"region names must be unique, got {', '.join(names)}")
+        cluster_names = [c.name for r in self.regions for c in r.clusters]
+        _require(len(cluster_names) > 0,
+                 "at least one region needs a cluster (the world has demand "
+                 "but no capacity)")
+        _require(len(set(cluster_names)) == len(cluster_names),
+                 f"cluster names must be unique across regions, "
+                 f"got {', '.join(cluster_names)}")
+        _check_positive("period_s", self.period_s)
+        _check_positive("duration_s", self.duration_s)
+        _check_positive("bins", self.bins, integer=True)
+        _check_choice("backend", self.backend, GLOBE_BACKENDS)
+        knee = _float_tuple("knee", self.knee)
+        _require(len(knee) == 2 and 0 < knee[0] < knee[1] <= 1.0,
+                 f"knee must be (lo, hi) with 0 < lo < hi <= 1, got {self.knee!r}")
+        _set(self, "knee", knee)
+        _require(
+            isinstance(self.spill_threshold, (int, float))
+            and 0 < self.spill_threshold <= 1,
+            f"spill_threshold must be in (0, 1], got {self.spill_threshold!r}",
+        )
+        _require(
+            isinstance(self.default_rtt_ms, (int, float))
+            and self.default_rtt_ms >= 0,
+            f"default_rtt_ms must be non-negative, got {self.default_rtt_ms!r}",
+        )
+        _require(isinstance(self.rtt_ms, (tuple, list)),
+                 f"rtt_ms must be a list of (region, region, ms) triples, "
+                 f"got {self.rtt_ms!r}")
+        triples = []
+        for entry in self.rtt_ms:
+            ok = (isinstance(entry, (tuple, list)) and len(entry) == 3
+                  and isinstance(entry[0], str) and isinstance(entry[1], str)
+                  and isinstance(entry[2], (int, float)) and entry[2] >= 0)
+            _require(ok,
+                     f"each rtt_ms entry must be [region_a, region_b, ms >= 0], "
+                     f"got {entry!r}")
+            a, b, ms = entry
+            _require(a in names and b in names,
+                     f"rtt_ms names unknown region in {entry!r}; "
+                     f"regions: {', '.join(names)}")
+            _require(a != b, f"rtt_ms cannot override a region's self-RTT: {entry!r}")
+            triples.append((a, b, float(ms)))
+        _set(self, "rtt_ms", tuple(triples))
+        _check_positive("event_requests", self.event_requests, integer=True)
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+        if self.backend == "exact":
+            expected = sum(r.rate_rps for r in self.regions) * self.duration_s
+            _require(
+                expected <= _EXACT_MAX_REQUESTS,
+                f"backend='exact' would simulate ~{expected:,.0f} requests "
+                f"(> {_EXACT_MAX_REQUESTS:,}); shrink rate_rps/duration_s or "
+                f"use backend='hybrid' (exact is for small validation traces)",
+            )
 
 
 def _norm_axis_value(value: Any) -> Any:

@@ -1,8 +1,9 @@
 """Tracked performance benchmarks: the ``BENCH_<n>.json`` trajectory.
 
 ``python -m repro bench`` (or ``python benchmarks/harness.py``) times the
-repository's three hot analysis paths -- the full report fan-out, a
-datacenter provisioning search, and a serving load sweep -- and writes a
+repository's hot analysis paths -- the full report fan-out, a
+datacenter provisioning search, a serving load sweep, the raw fleet
+inner loop, and the planet-scale hybrid backend -- and writes a
 trajectory point as JSON.  The convention: PR *n* commits ``BENCH_n.json``
 at the repo root, so the sequence of files records how the hot paths'
 wall time moves as the codebase grows.  CI re-runs the harness on every
@@ -280,6 +281,35 @@ def _bench_serving_sweep(quick: bool) -> list[BenchRecord]:
     return [first, again]
 
 
+def _bench_globe(quick: bool) -> list[BenchRecord]:
+    """The planet-scale hybrid backend pricing the default world.
+
+    The default ``GlobalScenario`` is three follow-the-sun regions at
+    120k req/s each over 120 s -- ~43M expected requests.  The record
+    proves the scale claim of :mod:`repro.globe`: hybrid cost scales
+    with ``bins x clusters`` (plus a handful of short memoized event
+    traces), not with requests, so the wall time here stays seconds
+    even though the world is three orders of magnitude past what the
+    exact event backend could touch.  ``--quick`` shrinks only the
+    event-sample traces; the world stays full-size.
+    """
+    from repro.api.spec import GlobalScenario
+    from repro.globe import simulate_global
+
+    scenario = GlobalScenario(event_requests=1000 if quick else 4000)
+    total = {"requests": 0.0}
+
+    def run() -> None:
+        result = simulate_global(scenario)
+        total["requests"] = result.total_requests
+
+    record = _timed("global_sweep", run)
+    metrics = dict(record.metrics)
+    metrics["globe.world_requests"] = total["requests"]
+    return [BenchRecord(record.name, record.wall_seconds,
+                        record.cache_hit_rate, metrics)]
+
+
 def run_benches(quick: bool = False, jobs: int = 4) -> dict:
     """Run every scenario and assemble the trajectory point."""
     records: list[BenchRecord] = []
@@ -288,6 +318,7 @@ def run_benches(quick: bool = False, jobs: int = 4) -> dict:
     records += _bench_provisioning(quick)
     records += _bench_serving_sweep(quick)
     records += _bench_serving_inner_loop(quick)
+    records += _bench_globe(quick)
     return {
         "schema": SCHEMA,
         "git_rev": git_rev(),

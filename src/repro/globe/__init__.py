@@ -1,0 +1,76 @@
+"""repro.globe -- planet-scale multi-region serving on a hybrid backend.
+
+The pipeline is three layers, one module each:
+
+* :mod:`repro.globe.topology` -- regions with phase-offset diurnal
+  demand, clusters with real fleet capacities, an inter-region RTT
+  matrix, and the shared binned demand profile.
+* :mod:`repro.globe.routing` -- a routing policy (latency / cost /
+  spillover) water-fills each bin's regional demand into a
+  ``shares[bin, region, cluster]`` rate matrix.
+* :mod:`repro.globe.backend` -- the hybrid evaluator prices each
+  (cluster, bin) cell analytically below the SLO knee, with the exact
+  event engine near it, and with a fluid backlog above it; the exact
+  evaluator event-simulates every request for validation.
+
+:func:`simulate_global` is the front door; scenarios come from
+:class:`repro.api.spec.GlobalScenario` (``repro.run()`` or ``python -m
+repro globe`` on the command line).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import obs
+from repro.globe.backend import (
+    GlobalResult,
+    evaluate_exact,
+    evaluate_hybrid,
+    weighted_percentile,
+)
+from repro.globe.routing import ROUTING_POLICIES, RoutingPlan, plan_routes
+from repro.globe.topology import (
+    Cluster,
+    Region,
+    Topology,
+    build_topology,
+    region_arrivals,
+)
+
+if TYPE_CHECKING:
+    from repro.api.spec import GlobalScenario
+
+__all__ = [
+    "Cluster",
+    "GlobalResult",
+    "Region",
+    "ROUTING_POLICIES",
+    "RoutingPlan",
+    "Topology",
+    "build_topology",
+    "evaluate_exact",
+    "evaluate_hybrid",
+    "plan_routes",
+    "region_arrivals",
+    "simulate_global",
+    "weighted_percentile",
+]
+
+
+def simulate_global(scenario: "GlobalScenario") -> GlobalResult:
+    """Resolve, route, and evaluate one global serving scenario."""
+    with obs.span("globe.simulate", cat="globe", backend=scenario.backend):
+        topology = build_topology(scenario)
+        plan = plan_routes(topology, scenario.routing, scenario.spill_threshold)
+        if scenario.backend == "exact":
+            return evaluate_exact(topology, plan, seed=scenario.seed)
+        knee_lo, knee_hi = scenario.knee
+        return evaluate_hybrid(
+            topology,
+            plan,
+            knee_lo=knee_lo,
+            knee_hi=knee_hi,
+            event_requests=scenario.event_requests,
+            seed=scenario.seed,
+        )

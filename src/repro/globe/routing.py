@@ -1,0 +1,163 @@
+"""Global routing: split each region's demand across the world's clusters.
+
+A routing *policy* turns the binned demand profile into a per-bin rate
+matrix ``shares[bin, region, cluster]`` (requests/second).  All three
+policies are greedy water-fills over an ordered candidate list -- they
+differ only in the order and in how local capacity is pooled:
+
+* ``latency``   -- nearest-first: candidates ordered by RTT (the local
+  region's clusters have RTT zero), each filled to ``spill_threshold``
+  of its capacity before demand spills to the next.
+* ``cost``      -- cheapest-first: ordered by the cluster's cost weight
+  (RTT breaks ties), so cheap remote capacity wins over expensive local
+  capacity even when it adds network latency.
+* ``spillover`` -- local-until-saturated: the region's own clusters are
+  treated as one pool and split proportionally to capacity; only demand
+  beyond ``spill_threshold`` of the *aggregate local* capacity spills,
+  nearest-first, to remote clusters.
+
+Demand left over after every candidate is at threshold is assigned
+proportionally to capacity -- deliberately pushing clusters past the
+threshold so the backend's near-knee and fluid regimes see it, rather
+than silently dropping load.
+
+The same plan is consumed by both backends (hybrid prices the rates;
+exact assigns individual arrivals by stride-scheduling the bin's share
+fractions), so validation gaps isolate the backend, not the router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.globe.topology import Region, Topology
+
+ROUTING_POLICIES = ("latency", "cost", "spillover")
+
+#: Shares below this rate (requests/s) are rounding noise, not routes.
+_EPS_RPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Per-bin routing decisions: who serves how much of whose demand."""
+
+    policy: str
+    #: requests/s routed, indexed ``[bin, region, cluster]``.
+    shares: np.ndarray
+
+    def cluster_rates(self) -> np.ndarray:
+        """Total offered rate per (bin, cluster)."""
+        return self.shares.sum(axis=1)
+
+    def spilled_fraction(self, topology: Topology) -> float:
+        """Fraction of all routed demand served outside its home region."""
+        total = float(self.shares.sum())
+        if total <= 0:
+            return 0.0
+        cross = 0.0
+        for c in topology.clusters:
+            mask = np.ones(len(topology.regions), dtype=bool)
+            mask[c.region_index] = False
+            cross += float(self.shares[:, mask, c.index].sum())
+        return cross / total
+
+    def mean_cost(self, topology: Topology) -> float:
+        """Demand-weighted mean cluster cost per request (relative units)."""
+        total = float(self.shares.sum())
+        if total <= 0:
+            return 0.0
+        costs = np.array([c.cost for c in topology.clusters])
+        return float(self.shares.sum(axis=(0, 1)) @ costs) / total
+
+    def region_fractions(self, b: int, region_index: int) -> np.ndarray:
+        """Bin ``b``'s split of one region's demand, normalized to sum 1."""
+        row = self.shares[b, region_index]
+        total = row.sum()
+        if total <= 0:
+            return np.zeros_like(row)
+        return row / total
+
+
+def _candidate_order(policy: str, topology: Topology, region: Region) -> list[int]:
+    clusters = topology.clusters
+
+    def rtt(c) -> float:
+        return topology.rtt(region.index, c)
+
+    if policy == "latency":
+        key = lambda c: (rtt(c), c.index)  # noqa: E731
+    elif policy == "cost":
+        key = lambda c: (c.cost, rtt(c), c.index)  # noqa: E731
+    elif policy == "spillover":
+        # Locals first (pooled by the caller), remotes nearest-first.
+        key = lambda c: (c.region_index != region.index, rtt(c), c.index)  # noqa: E731
+    else:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; try one of {sorted(ROUTING_POLICIES)}"
+        )
+    return [c.index for c in sorted(clusters, key=key)]
+
+
+def plan_routes(
+    topology: Topology, policy: str, spill_threshold: float
+) -> RoutingPlan:
+    """Water-fill every bin's regional demand across the cluster fleet."""
+    if not 0 < spill_threshold <= 1:
+        raise ValueError(
+            f"spill_threshold must be in (0, 1], got {spill_threshold}"
+        )
+    demand = topology.demand()  # [bins, regions]
+    caps = np.array([c.capacity_rps for c in topology.clusters])
+    n_clusters = len(topology.clusters)
+    shares = np.zeros((topology.bins, len(topology.regions), n_clusters))
+
+    orders = {
+        region.index: _candidate_order(policy, topology, region)
+        for region in topology.regions
+    }
+    local = {
+        region.index: [
+            c.index for c in topology.clusters if c.region_index == region.index
+        ]
+        for region in topology.regions
+    }
+
+    for b in range(topology.bins):
+        assigned = np.zeros(n_clusters)
+        for region in topology.regions:
+            want = float(demand[b, region.index])
+            if want <= _EPS_RPS:
+                continue
+            row = shares[b, region.index]
+            if policy == "spillover" and local[region.index]:
+                # Pool the home clusters: proportional-to-capacity split
+                # up to the aggregate local threshold.
+                ids = np.array(local[region.index])
+                room = np.maximum(spill_threshold * caps[ids] - assigned[ids], 0.0)
+                pool = float(room.sum())
+                take = min(want, pool)
+                if take > 0 and pool > 0:
+                    part = room * (take / pool)
+                    row[ids] += part
+                    assigned[ids] += part
+                    want -= take
+            if want > _EPS_RPS:
+                for ci in orders[region.index]:
+                    room = max(spill_threshold * caps[ci] - assigned[ci], 0.0)
+                    take = min(want, room)
+                    if take > 0:
+                        row[ci] += take
+                        assigned[ci] += take
+                        want -= take
+                    if want <= _EPS_RPS:
+                        break
+            if want > _EPS_RPS:
+                # The whole planet is at threshold: overload everyone in
+                # proportion to capacity (the fluid regime's job).
+                extra = want * caps / caps.sum()
+                row += extra
+                assigned += extra
+    return RoutingPlan(policy=policy, shares=shares)

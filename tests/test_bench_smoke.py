@@ -45,6 +45,7 @@ def test_expected_scenarios_present(payload):
         "serving_sweep",
         "serving_sweep_repeat",
         "serving_inner_loop",
+        "global_sweep",
     ]
 
 

@@ -256,6 +256,64 @@ class TestAutoscaler:
         assert policy.desired_replicas(obs) == 2  # 1000/(0.5*1000)
 
 
+class TestAutoscalerFastPath:
+    """Bulk admission in the autoscaler's dynamic-eligible-set path.
+
+    The ``REPRO_SERVING_FAST`` window logic keys off ``sim.eligible``
+    at admission time, so a routing set that grows and shrinks between
+    control ticks neither disables it nor changes a single response:
+    the window bound (``min(free_at)`` vs the next heap event) already
+    fences every control tick, activation, and deactivation.
+    """
+
+    REPLICA_RPS = 16 / SERVICE
+
+    def _run(self, policy, arrivals, **cfg):
+        return AutoscaledFleet(
+            make_replica, policy, quick_config(**cfg),
+            replica_rps=self.REPLICA_RPS,
+        ).run(arrivals)
+
+    def test_bulk_admission_engages_under_autoscaling(self, monkeypatch):
+        from repro.serving import fleet as fleet_mod
+
+        windows = []
+        original = fleet_mod.FleetSim._bulk_admit
+
+        def spy(sim, i, top_when):
+            j = original(sim, i, top_when)
+            if j > i:
+                windows.append(j - i)
+            return j
+
+        monkeypatch.setattr(fleet_mod.FleetSim, "_bulk_admit", spy)
+        arrivals = poisson_arrivals(20000.0, 8000, seed=2)
+        scaled = self._run(ReactivePolicy(), arrivals, spinup_seconds=0.05)
+        assert scaled.peak_replicas >= 3  # the eligible set really changed
+        assert sum(windows) > 0  # and bulk admission still fired
+
+    @pytest.mark.parametrize("policy_factory", [
+        lambda: ReactivePolicy(cooldown_seconds=0.05),
+        lambda: PredictivePolicy(6000.0, 0.8, 2.0, lead_seconds=0.15,
+                                 target_utilization=0.7),
+    ], ids=["reactive", "predictive"])
+    def test_fast_path_is_bit_identical(self, monkeypatch, policy_factory):
+        from repro.serving import fleet as fleet_mod
+
+        arrivals = diurnal_arrivals(6000.0, 0.8, 2.0, 12000, seed=5)
+
+        def run(fast):
+            monkeypatch.setattr(fleet_mod, "_FAST_DEFAULT", fast)
+            return self._run(policy_factory(), arrivals)
+
+        fast, slow = run(True), run(False)
+        assert np.array_equal(fast.fleet.responses, slow.fleet.responses)
+        assert fast.timeline == slow.timeline
+        assert fast.powered == slow.powered
+        assert fast.peak_replicas == slow.peak_replicas
+        assert fast.mean_powered == slow.mean_powered
+
+
 class TestTCO:
     def test_servers_round_up_by_dies(self):
         assert servers_for("tpu", 1) == 1
