@@ -36,6 +36,7 @@ from repro.api import (
     DatacenterScenario,
     Experiment,
     GlobalScenario,
+    LLMServeScenario,
     ProfileScenario,
     RegionSpec,
     ScenarioResult,
@@ -57,6 +58,7 @@ __all__ = [
     "DatacenterScenario",
     "Experiment",
     "GlobalScenario",
+    "LLMServeScenario",
     "LivenessAllocator",
     "ProfileScenario",
     "RegionSpec",

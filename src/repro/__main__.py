@@ -27,6 +27,10 @@ Commands:
   region's phase-offset diurnal demand across the world's clusters and
   price it with the hybrid queueing/event backend (millions of requests
   in seconds; ``--backend exact`` event-simulates small traces);
+* ``llm``               -- iteration-level transformer decode serving:
+  continuous vs fixed batching under the KV-cache capacity budget,
+  optionally disaggregated into prefill/decode pools with per-pool
+  autoscaling, emitting tokens/sec-per-chip vs p99 time-per-token;
 * ``bench``             -- time the hot analysis paths (report fan-out,
   provisioning search, serving sweep) and write a ``BENCH_*.json``
   trajectory point (``--quick`` for CI-sized scenarios);
@@ -36,7 +40,8 @@ Commands:
 * ``list``              -- list workloads, experiment ids, and scenario
   kinds (``--json`` for the introspectable registry).
 
-``profile``/``report``/``serve``/``datacenter``/``globe`` additionally take
+``profile``/``report``/``serve``/``datacenter``/``globe``/``llm``
+additionally take
 ``--trace-out TRACE.json`` (Chrome trace export), ``--trace-jsonl``
 (one span object per line), and ``--profile`` (span-time summary table
 on stderr); ``REPRO_TRACE_OUT=trace.json`` in the environment does the
@@ -309,6 +314,42 @@ def _cmd_globe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_llm(args: argparse.Namespace) -> int:
+    from repro.api import LLMServeScenario, SpecError, run
+
+    try:
+        if args.config:
+            scenario = _load_config(args.config, "llm", ("llm",))
+        else:
+            scenario = LLMServeScenario(
+                workload=args.workload,
+                scheduler=args.scheduler,
+                mode=args.mode,
+                chips=args.chips,
+                prefill_chips=args.prefill_chips,
+                max_batch=args.max_batch,
+                prefill_batch=args.prefill_batch,
+                prompt_tokens=args.prompt_tokens,
+                decode_tokens=args.decode_tokens,
+                requests=args.requests,
+                loads=tuple(
+                    float(x) for x in args.loads.split(",") if x.strip()
+                ),
+                slo_tpot_ms=args.slo_tpot_ms,
+                slo_ttft_ms=args.slo_ttft_ms,
+                transfer_ms=args.transfer_ms,
+                link_gbps=args.link_gbps,
+                autoscale=args.autoscale,
+                seed=args.seed,
+            )
+        result = run(scenario)
+    except (SpecError, ValueError, OSError) as exc:
+        print(f"llm: {exc}", file=sys.stderr)
+        return 2
+    _print_result(result, args.json)
+    return 0
+
+
 def _add_scenario_io(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", default=None, metavar="SCENARIO.json",
                         help="load the scenario from a JSON config file "
@@ -530,6 +571,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_io(globe)
     _add_obs_flags(globe)
     globe.set_defaults(fn=_cmd_globe)
+
+    llm = sub.add_parser(
+        "llm",
+        help="iteration-level (continuous) transformer decode serving "
+             "under the KV-cache capacity budget",
+        description="Sweep offered load over an iteration-level decode "
+        "fleet: requests join/leave the running batch per token, the KV "
+        "cache is charged against the Unified Buffer, and a full cache "
+        "evicts to the head of the queue.  --scheduler fixed is the "
+        "request-level gang baseline; --mode disaggregated splits "
+        "prefill and decode pools with a KV transfer hop.",
+    )
+    llm.add_argument("--workload", default="gpt_s",
+                     help="transformer extension workload (default gpt_s)")
+    llm.add_argument("--scheduler", default="continuous",
+                     choices=["continuous", "fixed"],
+                     help="iteration-level vs request-level gang batching")
+    llm.add_argument("--mode", default="aggregated",
+                     choices=["aggregated", "disaggregated"],
+                     help="one pool, or split prefill/decode pools")
+    llm.add_argument("--chips", type=int, default=2,
+                     help="decode-pool chips (the whole fleet when "
+                          "aggregated; default 2)")
+    llm.add_argument("--prefill-chips", type=int, default=1,
+                     help="prefill-pool chips in disaggregated mode")
+    llm.add_argument("--max-batch", type=int, default=32,
+                     help="decode batch-slot cap per chip (default 32)")
+    llm.add_argument("--prefill-batch", type=int, default=8,
+                     help="prompts per batched prefill pass (default 8)")
+    llm.add_argument("--prompt-tokens", type=int, default=96,
+                     help="mean prompt length (default 96)")
+    llm.add_argument("--decode-tokens", type=int, default=48,
+                     help="mean generated length (default 48)")
+    llm.add_argument("--requests", type=int, default=2000,
+                     help="requests per load point (default 2000)")
+    llm.add_argument("--loads", default="0.3,0.5,0.7,0.85,0.95",
+                     help="offered loads as fractions of ideal decode "
+                          "capacity (default 0.3,0.5,0.7,0.85,0.95)")
+    llm.add_argument("--slo-tpot-ms", type=float, default=1.5,
+                     help="p99 time-per-token SLO in ms (default 1.5)")
+    llm.add_argument("--slo-ttft-ms", type=float, default=100.0,
+                     help="time-to-first-token SLO in ms (default 100)")
+    llm.add_argument("--transfer-ms", type=float, default=0.2,
+                     help="prefill->decode KV hop RTT in ms (default 0.2)")
+    llm.add_argument("--link-gbps", type=float, default=100.0,
+                     help="pool interconnect bandwidth (default 100 Gb/s)")
+    llm.add_argument("--autoscale", action="store_true",
+                     help="per-pool reactive autoscaling "
+                          "(disaggregated mode only)")
+    llm.add_argument("--seed", type=int, default=0)
+    _add_scenario_io(llm)
+    _add_obs_flags(llm)
+    llm.set_defaults(fn=_cmd_llm)
 
     trace = sub.add_parser(
         "trace",

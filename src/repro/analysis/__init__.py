@@ -35,6 +35,7 @@ from repro.analysis import (  # noqa: E402  (registry population)
     serving,
     datacenter,
     globe,
+    llm,
     transformer,
 )
 
@@ -81,6 +82,13 @@ EXPERIMENTS: dict[str, Experiment] = {
             globe.run,
             scenario=globe.DEFAULT_SCENARIO,
             honors=globe.HONORED_FIELDS,
+        ),
+        Experiment(
+            "llm_operating_curve",
+            "LLM decode serving: continuous batching under a KV budget",
+            llm.run,
+            scenario=llm.DEFAULT_SCENARIO,
+            honors=llm.HONORED_FIELDS,
         ),
         Experiment(
             "transformer_roofline",

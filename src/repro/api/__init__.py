@@ -4,7 +4,7 @@ One vocabulary powers every entry point:
 
 * :mod:`repro.api.spec`   -- frozen, JSON-round-trippable scenario
   dataclasses (`ProfileScenario`, `ServeScenario`, `DatacenterScenario`,
-  `GlobalScenario`) plus `SweepSpec` for cross-product parameter
+  `GlobalScenario`, `LLMServeScenario`) plus `SweepSpec` for cross-product parameter
   studies;
 * :mod:`repro.api.runner` -- ``run(scenario) -> ScenarioResult``, the
   single facade the CLI, experiments, and sweeps execute through;
@@ -27,6 +27,7 @@ from repro.api.spec import (
     ClusterSpec,
     DatacenterScenario,
     GlobalScenario,
+    LLMServeScenario,
     ProfileScenario,
     RegionSpec,
     ScenarioSpec,
@@ -41,6 +42,7 @@ __all__ = [
     "DatacenterScenario",
     "Experiment",
     "GlobalScenario",
+    "LLMServeScenario",
     "ProfileScenario",
     "RegionSpec",
     "ScenarioResult",

@@ -15,6 +15,7 @@ from repro.api.result import ScenarioResult
 from repro.api.spec import (
     DatacenterScenario,
     GlobalScenario,
+    LLMServeScenario,
     ProfileScenario,
     ScenarioSpec,
     ServeScenario,
@@ -38,12 +39,14 @@ def run(scenario: ScenarioSpec) -> ScenarioResult:
         return _run_datacenter(scenario)
     if isinstance(scenario, GlobalScenario):
         return _run_globe(scenario)
+    if isinstance(scenario, LLMServeScenario):
+        return _run_llm(scenario)
     if isinstance(scenario, SweepSpec):
         return _run_sweep(scenario)
     raise SpecError(
         f"cannot run {type(scenario).__name__}: expected one of "
         "ProfileScenario, ServeScenario, DatacenterScenario, "
-        "GlobalScenario, SweepSpec"
+        "GlobalScenario, LLMServeScenario, SweepSpec"
     )
 
 
@@ -339,6 +342,108 @@ def _run_globe(scenario: GlobalScenario) -> ScenarioResult:
         metadata={
             "scenario": scenario.to_dict(),
             "backend_cells": dict(result.backend_cells),
+        },
+        text=table.render(),
+        summary=summary,
+    )
+
+
+def _run_llm(scenario: LLMServeScenario) -> ScenarioResult:
+    from repro.serving.continuous import (
+        build_llm_config,
+        fleet_capacity_tokens_per_s,
+        llm_row,
+        run_llm_point,
+    )
+    from repro.util.tables import TextTable
+
+    controllers = {}
+    if scenario.autoscale:
+        from repro.datacenter.llm_pools import pool_controllers
+
+        controllers = pool_controllers(
+            build_llm_config(scenario),
+            scenario.prompt_tokens,
+            scenario.decode_tokens,
+        )
+    cfg = build_llm_config(scenario, **controllers)
+    capacity = fleet_capacity_tokens_per_s(
+        cfg, scenario.prompt_tokens, scenario.decode_tokens
+    )
+    rows = []
+    for load in scenario.loads:
+        rate = load * capacity / scenario.decode_tokens
+        result = run_llm_point(
+            cfg,
+            rate_rps=rate,
+            requests=scenario.requests,
+            prompt_mean=scenario.prompt_tokens,
+            decode_mean=scenario.decode_tokens,
+            seed=scenario.seed,
+        )
+        rows.append(llm_row(
+            result,
+            load=load,
+            rate_rps=rate,
+            slo_tpot_s=scenario.slo_tpot_seconds,
+            slo_ttft_s=scenario.slo_ttft_seconds,
+        ))
+    pools = (
+        f"{scenario.chips} decode + {scenario.prefill_chips} prefill chips"
+        if scenario.mode == "disaggregated"
+        else f"{scenario.chips} chips"
+    )
+    table = TextTable(
+        ["load", "req/s", "tok/s/chip", "goodput/chip", "batch", "kv peak",
+         "evict", "TTFT p99 ms", "TPOT p99 ms", "SLO"],
+        title=(
+            f"{scenario.workload} decode, {scenario.scheduler} batching, "
+            f"{scenario.mode} ({pools}), "
+            f"{scenario.requests} requests per point"
+        ),
+    )
+    for row in rows:
+        table.add_row([
+            f"{row['load']:.2f}", f"{row['offered_rps']:,.0f}",
+            f"{row['tokens_per_second_per_chip']:,.0f}",
+            f"{row['goodput_tokens_per_second_per_chip']:,.0f}",
+            f"{row['mean_batch']:.1f}", f"{row['kv_peak_fraction']:.0%}",
+            f"{row['evictions']}", f"{row['p99_ttft_ms']:.2f}",
+            f"{row['p99_tpot_ms']:.3f}", f"{row['slo_attainment']:.1%}",
+        ])
+    feasible = [
+        row for row in rows
+        if row["p99_tpot_ms"] <= scenario.slo_tpot_ms
+        and row["p99_ttft_ms"] <= scenario.slo_ttft_ms
+    ]
+    if feasible:
+        best = max(
+            feasible, key=lambda r: r["goodput_tokens_per_second_per_chip"]
+        )
+        summary = (
+            f"best {best['goodput_tokens_per_second_per_chip']:,.0f} "
+            f"goodput tokens/s/chip at load {best['load']:.2f} within "
+            f"p99 TPOT {scenario.slo_tpot_ms:g} ms / "
+            f"TTFT {scenario.slo_ttft_ms:g} ms"
+        )
+    else:
+        summary = (
+            f"no load meets p99 TPOT {scenario.slo_tpot_ms:g} ms and "
+            f"TTFT {scenario.slo_ttft_ms:g} ms; the fleet is undersized"
+        )
+    return ScenarioResult(
+        kind=scenario.kind,
+        title=(
+            f"llm {scenario.workload} ({scenario.scheduler} batching, "
+            f"{scenario.mode})"
+        ),
+        rows=rows,
+        metadata={
+            "scenario": scenario.to_dict(),
+            "kv_capacity_tokens": cfg.kv_capacity,
+            "kv_bytes_per_token": cfg.kv_bytes_per_token,
+            "weight_stream_us": cfg.timing.weight_stream_seconds * 1e6,
+            "capacity_tokens_per_s": capacity,
         },
         text=table.render(),
         summary=summary,

@@ -510,6 +510,99 @@ class GlobalScenario(ScenarioSpec):
             )
 
 
+LLM_SCHEDULERS = ("continuous", "fixed")
+LLM_MODES = ("aggregated", "disaggregated")
+
+
+@dataclass(frozen=True)
+class LLMServeScenario(ScenarioSpec):
+    """Iteration-level transformer decode serving under a KV-cache budget.
+
+    Requests join and leave the running batch at token granularity
+    (``scheduler="continuous"``) or as request-level gangs
+    (``scheduler="fixed"``, the Table 4 baseline);
+    ``mode="disaggregated"`` splits the fleet into prefill and decode
+    pools with a KV transfer hop and optional per-pool autoscaling.
+    """
+
+    kind: ClassVar[str] = "llm"
+
+    workload: str = "gpt_s"
+    scheduler: str = "continuous"
+    mode: str = "aggregated"
+    #: Decode-pool size (the whole fleet in aggregated mode).
+    chips: int = 2
+    prefill_chips: int = 1
+    max_batch: int = 32
+    prefill_batch: int = 8
+    #: Mean prompt/decode lengths; sampled uniform in ``[m - m//2, m + m//2]``.
+    prompt_tokens: int = 96
+    decode_tokens: int = 48
+    requests: int = 2000
+    #: Offered load as fractions of the ideal decode-pool token capacity.
+    loads: tuple[float, ...] = (0.3, 0.5, 0.7, 0.85, 0.95)
+    #: Per-token pace SLO (p99 time-per-token) and first-token SLO.
+    slo_tpot_ms: float = 1.5
+    slo_ttft_ms: float = 100.0
+    #: Unified Buffer MiB held back from the KV cache for activations.
+    kv_reserve_mib: float = 2.0
+    #: Prefill->decode KV hop: fixed RTT plus payload over the link.
+    transfer_ms: float = 0.2
+    link_gbps: float = 100.0
+    #: Per-pool reactive autoscaling (disaggregated mode only).
+    autoscale: bool = False
+    seed: int = 0
+
+    @property
+    def slo_tpot_seconds(self) -> float:
+        return self.slo_tpot_ms * 1e-3
+
+    @property
+    def slo_ttft_seconds(self) -> float:
+        return self.slo_ttft_ms * 1e-3
+
+    def validate(self) -> None:
+        if isinstance(self.workload, str):
+            _set(self, "workload", self.workload.lower())
+        _check_workload(self.workload)
+        # Lazy, like the workload registry: decode needs a KV cache, so
+        # only the transformer extension family qualifies.
+        from repro.nn.workloads import EXTENSION_WORKLOAD_NAMES
+
+        _check_choice("workload", self.workload, EXTENSION_WORKLOAD_NAMES)
+        _check_choice("scheduler", self.scheduler, LLM_SCHEDULERS)
+        _check_choice("mode", self.mode, LLM_MODES)
+        _check_positive("chips", self.chips, integer=True)
+        _check_positive("prefill_chips", self.prefill_chips, integer=True)
+        _check_positive("max_batch", self.max_batch, integer=True)
+        _check_positive("prefill_batch", self.prefill_batch, integer=True)
+        _check_positive("prompt_tokens", self.prompt_tokens, integer=True)
+        _check_positive("decode_tokens", self.decode_tokens, integer=True)
+        _check_positive("requests", self.requests, integer=True)
+        _set(self, "loads", _float_tuple("loads", self.loads))
+        _require(all(load > 0 for load in self.loads),
+                 f"loads must be positive fractions, got {self.loads!r}")
+        _check_positive("slo_tpot_ms", self.slo_tpot_ms)
+        _check_positive("slo_ttft_ms", self.slo_ttft_ms)
+        _require(
+            isinstance(self.kv_reserve_mib, (int, float))
+            and self.kv_reserve_mib >= 0,
+            f"kv_reserve_mib must be non-negative, got {self.kv_reserve_mib!r}",
+        )
+        _require(
+            isinstance(self.transfer_ms, (int, float)) and self.transfer_ms >= 0,
+            f"transfer_ms must be non-negative, got {self.transfer_ms!r}",
+        )
+        _check_positive("link_gbps", self.link_gbps)
+        _require(isinstance(self.autoscale, bool),
+                 f"autoscale must be true or false, got {self.autoscale!r}")
+        _require(not (self.autoscale and self.mode != "disaggregated"),
+                 "autoscale=true needs mode='disaggregated' (per-pool "
+                 "autoscalers only exist once the fleet is split)")
+        _require(isinstance(self.seed, int) and self.seed >= 0,
+                 f"seed must be a non-negative integer, got {self.seed!r}")
+
+
 def _norm_axis_value(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return tuple(_norm_axis_value(v) for v in value)

@@ -3,7 +3,8 @@
 ``python -m repro bench`` (or ``python benchmarks/harness.py``) times the
 repository's hot analysis paths -- the full report fan-out, a
 datacenter provisioning search, a serving load sweep, the raw fleet
-inner loop, and the planet-scale hybrid backend -- and writes a
+inner loop, the planet-scale hybrid backend, and the iteration-level
+LLM decode engine -- and writes a
 trajectory point as JSON.  The convention: PR *n* commits ``BENCH_n.json``
 at the repo root, so the sequence of files records how the hot paths'
 wall time moves as the codebase grows.  CI re-runs the harness on every
@@ -310,6 +311,50 @@ def _bench_globe(quick: bool) -> list[BenchRecord]:
                         record.cache_hit_rate, metrics)]
 
 
+def _bench_llm(quick: bool) -> list[BenchRecord]:
+    """The iteration-level LLM decode engine across the load curve.
+
+    Two gpt_s decode chips under the continuous scheduler at a low and a
+    near-saturated load: the record tracks the wall cost of the
+    per-iteration event loop (one event per model pass, not per token)
+    and carries the simulated token throughput so trajectory readers can
+    see engine-time-per-simulated-token, not just wall time.
+    """
+    from repro.api.spec import LLMServeScenario
+    from repro.serving.continuous import (
+        build_llm_config,
+        fleet_capacity_tokens_per_s,
+        run_llm_point,
+    )
+
+    scenario = LLMServeScenario(requests=400 if quick else 2000)
+    cfg = build_llm_config(scenario)
+    capacity = fleet_capacity_tokens_per_s(
+        cfg, scenario.prompt_tokens, scenario.decode_tokens
+    )
+    total = {"tokens": 0, "iterations": 0}
+
+    def run() -> None:
+        for load in (0.5, 0.95):
+            result = run_llm_point(
+                cfg,
+                rate_rps=load * capacity / scenario.decode_tokens,
+                requests=scenario.requests,
+                prompt_mean=scenario.prompt_tokens,
+                decode_mean=scenario.decode_tokens,
+                seed=scenario.seed,
+            )
+            total["tokens"] += result.tokens
+            total["iterations"] += result.iterations
+
+    record = _timed("llm_decode_curve", run)
+    metrics = dict(record.metrics)
+    metrics["llm.simulated_tokens"] = float(total["tokens"])
+    metrics["llm.simulated_iterations"] = float(total["iterations"])
+    return [BenchRecord(record.name, record.wall_seconds,
+                        record.cache_hit_rate, metrics)]
+
+
 def run_benches(quick: bool = False, jobs: int = 4) -> dict:
     """Run every scenario and assemble the trajectory point."""
     records: list[BenchRecord] = []
@@ -319,6 +364,7 @@ def run_benches(quick: bool = False, jobs: int = 4) -> dict:
     records += _bench_serving_sweep(quick)
     records += _bench_serving_inner_loop(quick)
     records += _bench_globe(quick)
+    records += _bench_llm(quick)
     return {
         "schema": SCHEMA,
         "git_rev": git_rev(),

@@ -19,7 +19,9 @@ replicas should it run".
   static fleet per platform, and policy-vs-policy comparisons on a
   shared trace;
 * :mod:`repro.datacenter.tco`          -- CapEx (TDP-provisioned
-  dollars) + energy OpEx, per million requests.
+  dollars) + energy OpEx, per million requests;
+* :mod:`repro.datacenter.llm_pools`    -- per-pool (prefill/decode)
+  autoscaling controllers for disaggregated LLM serving.
 
 Try it: ``python -m repro datacenter --workload mlp0 --slo-ms 7``.
 """
@@ -48,6 +50,11 @@ from repro.datacenter.provisioning import (
     compare_policies,
     plan_capacity,
 )
+from repro.datacenter.llm_pools import (
+    PoolAutoscaleConfig,
+    PoolAutoscaler,
+    pool_controllers,
+)
 from repro.datacenter.tco import CostBreakdown, CostModel, fleet_cost, servers_for
 
 __all__ = [
@@ -60,6 +67,8 @@ __all__ = [
     "FleetObservation",
     "PlatformPlan",
     "PolicyOutcome",
+    "PoolAutoscaleConfig",
+    "PoolAutoscaler",
     "PredictivePolicy",
     "ReactivePolicy",
     "ReplicaEnergy",
@@ -70,6 +79,7 @@ __all__ = [
     "fleet_cost",
     "fleet_energy",
     "plan_capacity",
+    "pool_controllers",
     "replica_energy",
     "servers_for",
     "utilization_timeline",

@@ -1,0 +1,157 @@
+"""KV-cache capacity accounting and decode-step timing on the TPU.
+
+Autoregressive decode re-reads every trained weight per generated token
+(`transformer_roofline`'s closed forms: intensity ``~ batch``, the LSTM
+regime), so a decode *iteration* -- one token for every request in the
+running batch -- is weight-bandwidth-bound on the 34 GB/s Weight Memory
+link.  What limits the batch is not the MXU but on-chip state: each
+in-flight request pins a KV cache of ``2 * d`` int8 bytes per attention
+layer per cached token, and that cache must live in the 24 MiB Unified
+Buffer next to the activation working set.  This module is the single
+source of truth for both sides of that trade:
+
+* :func:`kv_bytes_per_token` / :func:`kv_capacity_tokens` -- how many
+  cached tokens fit, mirroring the UB-overflow-as-infeasible treatment
+  the compiler applies to activations (a request that does not fit is
+  *queued*, never silently dropped);
+* :class:`DecodeTiming` -- closed-form per-iteration timing: weight
+  streaming overlapped with (projection + FFN + attention-over-cache)
+  compute, plus the fixed host overhead every dispatch pays.
+
+Both the continuous-batching scheduler and its per-request reference
+simulation consume these numbers, so a validation gap between the two
+can only come from scheduling logic, never from arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import TPU_V1, TPUConfig
+from repro.nn.graph import Model
+from repro.nn.layers import FullyConnected, MultiHeadAttention
+from repro.util.units import MIB
+
+#: Unified Buffer bytes held back from the KV cache for the decode-step
+#: activation working set and double buffering.
+KV_RESERVE_BYTES = 2 * MIB
+
+
+def kv_bytes_per_token(model: Model) -> int:
+    """Bytes of K and V cached per token (int8, summed over layers)."""
+    total = 0
+    for layer in model.layers:
+        if isinstance(layer, MultiHeadAttention):
+            total += 2 * layer.embed_dim  # one K row + one V row
+    if total == 0:
+        raise ValueError(
+            f"{model.name} has no attention layers; KV-cache accounting "
+            "applies to transformer workloads (bert_s, bert_l, gpt_s)"
+        )
+    return total
+
+
+def kv_capacity_tokens(
+    model: Model,
+    config: TPUConfig = TPU_V1,
+    reserve_bytes: int = KV_RESERVE_BYTES,
+) -> int:
+    """Cached tokens one chip's Unified Buffer holds for ``model``."""
+    usable = config.unified_buffer_bytes - reserve_bytes
+    if usable <= 0:
+        raise ValueError(
+            f"reserve_bytes={reserve_bytes} leaves no Unified Buffer for "
+            f"the KV cache (UB is {config.unified_buffer_bytes} bytes)"
+        )
+    return usable // kv_bytes_per_token(model)
+
+
+def kv_transfer_seconds(
+    tokens: int,
+    bytes_per_token: int,
+    link_bytes_per_s: float,
+    rtt_s: float,
+) -> float:
+    """Latency to ship a KV cache between pools (RTT + payload)."""
+    return rtt_s + tokens * bytes_per_token / link_bytes_per_s
+
+
+@dataclass(frozen=True)
+class DecodeTiming:
+    """Closed-form decode/prefill step timing for one transformer model.
+
+    Per generated token (d = embed dim, f = FFN dim, k = cached length):
+    projections + FFN cost ``4d^2 + 2df`` MACs independent of the cache,
+    attention over the cache costs ``2dk`` MACs, and every iteration
+    streams the full weight set once regardless of batch size.  Device
+    time is the roofline max of the weight stream and the batch's MAC
+    total; the host-side dispatch overhead is serial on top, exactly as
+    in :meth:`TPUPlatform.occupancy_seconds`.
+    """
+
+    weight_stream_seconds: float
+    fixed_macs_per_token: int
+    attn_macs_per_kv_token: int
+    macs_per_second: float
+    host_overhead_seconds: float
+
+    @classmethod
+    def for_model(cls, model: Model, config: TPUConfig = TPU_V1) -> "DecodeTiming":
+        fixed = 0
+        attn = 0
+        for layer in model.layers:
+            if isinstance(layer, MultiHeadAttention):
+                fixed += 4 * layer.embed_dim * layer.embed_dim
+                attn += 2 * layer.embed_dim
+            elif isinstance(layer, FullyConnected):
+                fixed += layer.in_features * layer.out_features
+        if attn == 0:
+            raise ValueError(
+                f"{model.name} has no attention layers; decode timing "
+                "applies to transformer workloads"
+            )
+        return cls(
+            weight_stream_seconds=model.total_weights / config.weight_bandwidth,
+            fixed_macs_per_token=fixed,
+            attn_macs_per_kv_token=attn,
+            macs_per_second=config.peak_ops_per_s / 2.0,
+            host_overhead_seconds=config.host_overhead_s,
+        )
+
+    def prefill_macs(self, tokens: int) -> int:
+        """MACs to (re)build a ``tokens``-long cache with causal attention."""
+        return (
+            tokens * self.fixed_macs_per_token
+            + self.attn_macs_per_kv_token * tokens * (tokens + 1) // 2
+        )
+
+    def iteration_seconds(
+        self,
+        active: int,
+        kv_total: int,
+        inline_prefill_macs: int = 0,
+    ) -> float:
+        """One decode iteration: a token for each of ``active`` requests.
+
+        ``kv_total`` is the summed cache length *after* this iteration's
+        growth; ``inline_prefill_macs`` charges aggregated-mode prompt
+        (re)fills piggybacked on the step, which ride in the weight
+        stream's compute slack until they saturate the MXU.
+        """
+        if active <= 0 and inline_prefill_macs <= 0:
+            return 0.0
+        macs = (
+            active * self.fixed_macs_per_token
+            + kv_total * self.attn_macs_per_kv_token
+            + inline_prefill_macs
+        )
+        device = max(self.weight_stream_seconds, macs / self.macs_per_second)
+        return device + self.host_overhead_seconds
+
+    def prefill_seconds(self, token_counts: list[int] | tuple[int, ...]) -> float:
+        """A standalone batched prefill pass (the disaggregated pool)."""
+        if not token_counts:
+            return 0.0
+        macs = sum(self.prefill_macs(int(t)) for t in token_counts)
+        device = max(self.weight_stream_seconds, macs / self.macs_per_second)
+        return device + self.host_overhead_seconds

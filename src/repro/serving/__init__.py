@@ -17,7 +17,11 @@ an event-driven, multi-device serving simulator:
   load generation;
 * :mod:`repro.serving.sweep`   -- load sweeps that emit the
   p99-vs-throughput operating curve and the max sustainable throughput
-  under an SLO.
+  under an SLO;
+* :mod:`repro.serving.continuous` -- iteration-level (continuous)
+  batching for transformer decode under a KV-cache capacity budget,
+  with a fixed-gang baseline and disaggregated prefill/decode pools
+  (validated against :mod:`repro.serving.llm_reference`).
 
 Try it: ``python -m repro serve --workload mlp0 --replicas 4 --slo-ms 7``.
 """
@@ -28,6 +32,17 @@ from repro.serving.batcher import (
     SLOAdaptiveBatcher,
     TimeoutBatcher,
     make_batcher,
+)
+from repro.serving.continuous import (
+    LLM_VALIDATION_RTOL,
+    ContinuousBatchingSim,
+    ContinuousConfig,
+    LLMRunResult,
+    build_llm_config,
+    fleet_capacity_tokens_per_s,
+    llm_row,
+    run_llm_point,
+    sample_llm_requests,
 )
 from repro.serving.engine import (
     BatchServer,
@@ -69,6 +84,10 @@ from repro.serving.traffic import (
 
 __all__ = [
     "BatchServer",
+    "ContinuousBatchingSim",
+    "ContinuousConfig",
+    "LLMRunResult",
+    "LLM_VALIDATION_RTOL",
     "Batcher",
     "ConstantCurve",
     "EventLoop",
@@ -87,7 +106,12 @@ __all__ = [
     "ServingStats",
     "ShortestQueueRouter",
     "TimeoutBatcher",
+    "build_llm_config",
     "diurnal_arrivals",
+    "fleet_capacity_tokens_per_s",
+    "llm_row",
+    "run_llm_point",
+    "sample_llm_requests",
     "load_trace",
     "make_batcher",
     "make_router",

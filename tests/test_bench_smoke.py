@@ -46,6 +46,7 @@ def test_expected_scenarios_present(payload):
         "serving_sweep_repeat",
         "serving_inner_loop",
         "global_sweep",
+        "llm_decode_curve",
     ]
 
 
